@@ -1,0 +1,53 @@
+"""Fig. 5 (left): weak scaling on Frontier, Fugaku, Summit, Perlmutter.
+
+Regenerates the efficiency-vs-nodes series from the calibrated network
+model and checks the paper's anchor points: Frontier 80 % at 8576 nodes,
+Fugaku 84 % at 152 064, Summit 74 % at 4263 (with the 15 % early drop from
+2 to 8 nodes), Perlmutter 62 % at 1088."""
+
+import pytest
+
+from repro.perfmodel.machines import MACHINES, WEAK_SCALING_ANCHORS
+from repro.perfmodel.scaling import weak_scaling
+
+
+def run_all_curves():
+    return {key: weak_scaling(key) for key in MACHINES}
+
+
+def test_fig5_weak_scaling(benchmark, table):
+    curves = benchmark(run_all_curves)
+    rows = []
+    for key, records in curves.items():
+        name = MACHINES[key].name
+        for r in records:
+            rows.append(
+                [name, r["nodes"], f"{r['time_per_step']:.4f}",
+                 f"{r['efficiency']:.1%}"]
+            )
+    table(
+        "Fig. 5 (left): weak scaling — time per step and efficiency vs nodes",
+        ["Machine", "Nodes", "t/step [s]", "Efficiency"],
+        rows,
+    )
+
+    anchor_rows = []
+    for key, anchor in WEAK_SCALING_ANCHORS.items():
+        records = weak_scaling(key, node_counts=[1, anchor["nodes"]])
+        eff = records[-1]["efficiency"]
+        anchor_rows.append(
+            [MACHINES[key].name, anchor["nodes"], f"{anchor['efficiency']:.0%}",
+             f"{eff:.1%}"]
+        )
+        assert eff == pytest.approx(anchor["efficiency"], abs=0.02)
+    table(
+        "Fig. 5 anchors: paper vs model",
+        ["Machine", "Nodes", "paper", "model"],
+        anchor_rows,
+    )
+
+    # Summit's early 2 -> 8 node drop (the <27-rank neighbor effect)
+    early = weak_scaling("summit", node_counts=[2, 8])
+    drop = 1.0 - early[-1]["efficiency"]
+    print(f"\nSummit 2->8 node efficiency drop: {drop:.1%} (paper: ~15%)")
+    assert 0.05 < drop < 0.25

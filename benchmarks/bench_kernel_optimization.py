@@ -1,0 +1,123 @@
+"""Sec. V.A.1: gather / deposition kernel optimization speedups.
+
+The paper tuned the two PIC hotspots on A64FX by switching from a scalar
+per-particle formulation to one vectorized over particles with the stencil
+point fixed, reporting 2.63x (gather) and 4.60x (deposition).  The same
+experiment one abstraction level up: our reference kernels process one
+particle per call (vector length 1), the optimized kernels process the
+whole population per stencil point.  The *direction and mechanism* match
+the paper; the magnitude is larger because the Python interpreter
+exaggerates per-element overheads the way an unvectorized in-order core
+does.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.constants import q_e
+from repro.particles.deposit import (
+    deposit_current_esirkepov,
+    deposit_current_reference,
+)
+from repro.particles.gather import gather_fields, gather_fields_reference
+from repro.scenarios.uniform_plasma import build_uniform_plasma
+
+ORDER = 3  # the paper's experiment uses order-3 shapes (64-point stencils)
+N_REFERENCE = 400  # particles given to the scalar reference kernels
+
+
+@pytest.fixture(scope="module")
+def workload():
+    sim, electrons = build_uniform_plasma(
+        (24, 24), ppc=4, shape_order=ORDER, temperature_uth=0.05
+    )
+    rng = np.random.default_rng(0)
+    for comp in ("Ex", "Ey", "Ez", "Bx", "By", "Bz"):
+        sim.grid.fields[comp][...] = rng.normal(size=sim.grid.shape)
+    return sim, electrons
+
+
+def _measure(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_kernel_optimization_table(benchmark, workload, table):
+    benchmark.pedantic(lambda: None, rounds=1)  # timings measured below
+    sim, electrons = workload
+    grid = sim.grid
+    pos = electrons.positions
+    n = electrons.n
+    dt = sim.dt
+
+    # gather: per-particle-time of reference vs optimized
+    t_ref_gather = _measure(
+        lambda: gather_fields_reference(grid, pos[:N_REFERENCE], ORDER)
+    ) / N_REFERENCE
+    t_opt_gather = _measure(lambda: gather_fields(grid, pos, ORDER)) / n
+
+    # deposition
+    vel = electrons.velocities()
+    pos_new = pos + 0.2 * grid.dx[0]
+    t_ref_dep = _measure(
+        lambda: deposit_current_reference(
+            grid, pos[:N_REFERENCE], pos_new[:N_REFERENCE], vel[:N_REFERENCE],
+            electrons.weights[:N_REFERENCE], -q_e, dt, ORDER,
+        )
+    ) / N_REFERENCE
+    t_opt_dep = _measure(
+        lambda: deposit_current_esirkepov(
+            grid, pos, pos_new, vel, electrons.weights, -q_e, dt, ORDER
+        )
+    ) / n
+
+    speedup_gather = t_ref_gather / t_opt_gather
+    speedup_dep = t_ref_dep / t_opt_dep
+    table(
+        "Sec. V.A.1: kernel optimization (reference = vector length 1, "
+        "optimized = vectorized over particles)",
+        ["Routine", "Reference (us/particle)", "Optimized (us/particle)",
+         "Speed up", "paper (A64FX)"],
+        [
+            ["Gather", f"{t_ref_gather * 1e6:.2f}", f"{t_opt_gather * 1e6:.3f}",
+             f"{speedup_gather:.1f}x", "2.63x"],
+            ["Deposition", f"{t_ref_dep * 1e6:.2f}", f"{t_opt_dep * 1e6:.3f}",
+             f"{speedup_dep:.1f}x", "4.60x"],
+        ],
+    )
+    # the optimized kernels must win, by at least the paper's margins
+    assert speedup_gather > 2.63
+    assert speedup_dep > 4.60
+
+
+def test_bench_gather_optimized(benchmark, workload):
+    sim, electrons = workload
+    benchmark(gather_fields, sim.grid, electrons.positions, ORDER)
+
+
+def test_bench_deposit_optimized(benchmark, workload):
+    sim, electrons = workload
+    vel = electrons.velocities()
+    pos_new = electrons.positions + 0.2 * sim.grid.dx[0]
+
+    def run():
+        sim.grid.zero_sources()
+        deposit_current_esirkepov(
+            sim.grid, electrons.positions, pos_new, vel,
+            electrons.weights, -q_e, sim.dt, ORDER,
+        )
+
+    benchmark(run)
+
+
+def test_bench_gather_reference(benchmark, workload):
+    sim, electrons = workload
+    benchmark(
+        gather_fields_reference, sim.grid, electrons.positions[:N_REFERENCE], ORDER
+    )

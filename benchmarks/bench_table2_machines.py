@@ -1,0 +1,32 @@
+"""Table II: the machines of the study, hardware peaks and HPCG anchors."""
+
+from repro.perfmodel.machines import MACHINES, get_machine
+
+
+def test_table2_machine_catalog(benchmark, table):
+    machines = benchmark(lambda: [get_machine(k) for k in MACHINES])
+    rows = []
+    for m in machines:
+        hpcg = (
+            f"{m.hpcg_pflops} ({m.hpcg_nodes} nodes)"
+            if m.hpcg_pflops is not None
+            else "not yet available"
+        )
+        rows.append(
+            [
+                m.name,
+                m.compute_hardware,
+                f"DP: {m.peak_tflops_dp} / SP: {m.peak_tflops_sp}",
+                f"{m.mem_tb_per_s}",
+                hpcg,
+            ]
+        )
+    table(
+        "Table II: machines, vendor peak TFlop/s and TByte/s per device, "
+        "published HPCG PFlop/s",
+        ["Machine", "Hardware", "TFlop/s per device", "TB/s", "HPCG"],
+        rows,
+    )
+    assert len(machines) == 4
+    frontier = machines[0]
+    assert frontier.peak_tflops_dp == 47.9

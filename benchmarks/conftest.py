@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure of the paper's evaluation has a bench module here;
+run them all with ``pytest benchmarks/ --benchmark-only -s`` (the ``-s``
+lets the regenerated tables print).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned table with a title banner."""
+    rows = [tuple(str(c) for c in r) for r in rows]
+    widths = [len(h) for h in header]
+    for r in rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print("\n" + "=" * len(line))
+    print(title)
+    print("=" * len(line))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,104 @@
+"""Anatomy of the electromagnetic mesh refinement (paper Sec. V.B, Fig. 4).
+
+Demonstrates the three-grid construction on a transparent test problem:
+a pulse launched OUTSIDE the refinement patch crosses it, and a pulse
+launched INSIDE leaves it, while we measure
+
+* how faithfully the auxiliary field F(a) = F(f) + I[F(s) - F(c)]
+  reproduces the reference solution inside the patch, and
+* how little energy reflects back off the patch boundary (the reason the
+  patch grids are PML-terminated).
+
+Run:  python examples/mesh_refinement_demo.py
+"""
+
+import numpy as np
+
+from repro.constants import c
+from repro.core.mr_level import MRPatch
+from repro.grid.boundary import apply_periodic
+from repro.grid.interpolation import prolong, region_sample_counts
+from repro.grid.maxwell import MaxwellSolver, cfl_dt
+from repro.grid.pml import PMLMaxwellSolver
+from repro.grid.yee import STAGGER, YeeGrid
+
+
+def crossing_pulse_demo() -> None:
+    print("=" * 64)
+    print("1. external pulse crossing the refined region")
+    print("=" * 64)
+    parent = YeeGrid((192,), (0.0,), (192.0,), guards=4)
+    lam = 24.0
+    k = 2 * np.pi / lam
+    x_e = parent.axis_coords(0, "Ey")
+    x_b = parent.axis_coords(0, "Bz")
+    env = lambda s: np.exp(-(((s - 40.0) / 10.0) ** 2))
+    parent.interior_view("Ey")[...] = env(x_e) * np.sin(k * x_e)
+    parent.interior_view("Bz")[...] = env(x_b) * np.sin(k * x_b) / c
+
+    dt = cfl_dt((0.5,), 0.45)  # fine-grid CFL
+    solver = MaxwellSolver(parent, dt)
+    patch = MRPatch(parent, (80,), (144,), ratio=2, dt=dt)
+
+    for step in range(int(100.0 / (c * dt))):
+        apply_periodic(parent, 0)
+        solver.step()
+        patch.advance_fields()
+        patch.assemble_aux()
+        if step % 200 == 0:
+            expected = prolong(
+                patch._parent_section("Ey"),
+                2,
+                STAGGER["Ey"],
+                region_sample_counts(patch.fine.n_cells, STAGGER["Ey"]),
+            )
+            aux = patch.aux.interior_view("Ey")
+            ref = np.max(np.abs(parent.interior_view("Ey"))) or 1.0
+            err = np.max(np.abs(aux - expected)) / ref
+            print(f"  step {step:5d}: |aux - interp(parent)| / |wave| = {err:.2e}")
+    print("  -> the substitution transports the external wave into the")
+    print("     refined region with percent-level fidelity.")
+
+
+def escaping_pulse_demo() -> None:
+    print("\n" + "=" * 64)
+    print("2. internal pulse leaving the refined region")
+    print("=" * 64)
+    parent = YeeGrid((192,), (0.0,), (192.0,), guards=4)
+    dt = cfl_dt((0.5,), 0.45)
+    solver = MaxwellSolver(parent, dt)
+    patch = MRPatch(parent, (64,), (128,), ratio=2, dt=dt, n_pml=8)
+
+    # a pulse that exists only on the patch grids (as an internal source
+    # would create it)
+    from repro.grid.interpolation import restrict
+
+    xf = patch.fine.axis_coords(0, "Ey")
+    xb = patch.fine.axis_coords(0, "Bz")
+    pulse = lambda s: np.exp(-(((s - 96.0) / 3.0) ** 2))
+    patch.fine.interior_view("Ey")[...] = pulse(xf)
+    patch.fine.interior_view("Bz")[...] = pulse(xb) / c
+    for comp in ("Ey", "Bz"):
+        counts = region_sample_counts(patch.coarse.n_cells, STAGGER[comp])
+        vals = restrict(patch.fine.interior_view(comp), 2, STAGGER[comp], counts)
+        patch.coarse.interior_view(comp)[...] = vals
+        patch._parent_section(comp)[...] = vals
+    patch.fine_solver = PMLMaxwellSolver(patch.fine, dt, n_pml=8)
+    patch.coarse_solver = PMLMaxwellSolver(patch.coarse, dt, n_pml=8)
+
+    e0 = patch.fine.field_energy()
+    print(f"  initial fine-grid energy : {e0:.3e} J")
+    for step in range(int(80.0 / (c * dt))):
+        apply_periodic(parent, 0)
+        solver.step()
+        patch.advance_fields()
+        patch.assemble_aux()
+    print(f"  residual fine energy     : {patch.fine.field_energy() / e0:.2e} of initial")
+    print(f"  energy now on the parent : {parent.field_energy() / e0:.2f} of initial")
+    print("  -> the pulse left through the patch PML and continues on the")
+    print("     parent grid: no spurious reflection off the MR interface.")
+
+
+if __name__ == "__main__":
+    crossing_pulse_demo()
+    escaping_pulse_demo()

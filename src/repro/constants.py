@@ -1,0 +1,83 @@
+"""Physical constants (SI, CODATA-2018) and derived plasma quantities.
+
+Every module in :mod:`repro` works in SI units.  The helpers at the bottom
+convert between laser/plasma quantities that appear throughout the paper
+(critical density, normalized vector potential ``a0``, plasma frequency).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum [m/s].
+c = 299_792_458.0
+
+#: Elementary charge [C].
+q_e = 1.602_176_634e-19
+
+#: Electron mass [kg].
+m_e = 9.109_383_7015e-31
+
+#: Proton mass [kg].
+m_p = 1.672_621_923_69e-27
+
+#: Vacuum permittivity [F/m].
+eps0 = 8.854_187_8128e-12
+
+#: Vacuum permeability [H/m].
+mu0 = 1.256_637_062_12e-6
+
+#: Boltzmann constant [J/K].
+k_B = 1.380_649e-23
+
+#: 1 electron-volt in joules.
+eV = q_e
+MeV = 1.0e6 * eV
+GeV = 1.0e9 * eV
+
+#: 1 picocoulomb / nanocoulomb in coulombs.
+pC = 1.0e-12
+nC = 1.0e-9
+
+#: Common length/time scales.
+um = 1.0e-6
+fs = 1.0e-15
+
+
+def critical_density(wavelength: float) -> float:
+    """Critical plasma density ``n_c`` [1/m^3] for laser ``wavelength`` [m].
+
+    A plasma denser than ``n_c`` is opaque (reflective) for light of that
+    wavelength — the regime the paper's plasma-mirror (solid) target
+    operates in.
+    """
+    omega = 2.0 * math.pi * c / wavelength
+    return eps0 * m_e * omega**2 / q_e**2
+
+
+def plasma_frequency(density: float) -> float:
+    """Electron plasma (angular) frequency ``omega_pe`` [rad/s]."""
+    return math.sqrt(density * q_e**2 / (eps0 * m_e))
+
+
+def plasma_wavelength(density: float) -> float:
+    """Plasma wavelength ``lambda_p = 2 pi c / omega_pe`` [m]."""
+    return 2.0 * math.pi * c / plasma_frequency(density)
+
+
+def a0_to_intensity(a0: float, wavelength: float) -> float:
+    """Peak intensity [W/m^2] of a linearly polarized laser with given ``a0``."""
+    e_peak = a0_to_field(a0, wavelength)
+    return 0.5 * eps0 * c * e_peak**2
+
+
+def a0_to_field(a0: float, wavelength: float) -> float:
+    """Peak electric field [V/m] corresponding to normalized amplitude ``a0``."""
+    omega = 2.0 * math.pi * c / wavelength
+    return a0 * m_e * c * omega / q_e
+
+
+def field_to_a0(e_field: float, wavelength: float) -> float:
+    """Normalized vector potential ``a0`` for a peak field [V/m]."""
+    omega = 2.0 * math.pi * c / wavelength
+    return e_field * q_e / (m_e * c * omega)

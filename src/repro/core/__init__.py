@@ -1,0 +1,29 @@
+"""Core mesh-refined PIC engine: the explicit PIC cycle (Fig. 3 of the
+paper), the electromagnetic mesh-refinement coupling (Sec. V.B), the moving
+window, subcycling, and the multi-level load balancing (Sec. V.C)."""
+
+from repro.core.simulation import Simulation
+from repro.core.moving_window import MovingWindow
+from repro.core.mr_level import MRPatch
+from repro.core.mr_simulation import MRSimulation
+from repro.core.load_balance import (
+    distribute_round_robin,
+    distribute_sfc,
+    distribute_knapsack,
+    load_imbalance,
+)
+from repro.core.costs import CostModel
+from repro.core.boosted_frame import BoostedFrame
+
+__all__ = [
+    "Simulation",
+    "MovingWindow",
+    "MRPatch",
+    "MRSimulation",
+    "distribute_round_robin",
+    "distribute_sfc",
+    "distribute_knapsack",
+    "load_imbalance",
+    "CostModel",
+    "BoostedFrame",
+]

@@ -1,0 +1,128 @@
+"""Load balancing strategies (paper Sec. V.C).
+
+Domain decomposition assigns rectangular grid boxes to ranks.  WarpX
+supports three strategies, all reproduced here:
+
+* **round robin** — boxes dealt to ranks in order;
+* **space-filling curve** — boxes sorted along a Morton (Z-order) curve
+  and split into contiguous, cost-balanced segments, which keeps
+  spatially close boxes on the same rank (low halo traffic);
+* **knapsack** — the longest-processing-time greedy heuristic for the
+  multiway partition problem, which balances cost with no regard for
+  locality.
+
+Costs per box come either from a heuristic (cells + weighted particle
+count, see :class:`repro.core.costs.CostModel`) or from measured per-box
+runtimes — the "measured runtime cost information" mode of the paper's
+dynamic load balancer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+from repro.particles.sorting import morton_encode
+
+
+def _validate(costs: Sequence[float], n_ranks: int) -> np.ndarray:
+    costs = np.asarray(costs, dtype=np.float64)
+    if n_ranks < 1:
+        raise DecompositionError("need at least one rank")
+    if costs.ndim != 1 or costs.size == 0:
+        raise DecompositionError("costs must be a non-empty 1D sequence")
+    if np.any(costs < 0):
+        raise DecompositionError("costs must be non-negative")
+    return costs
+
+
+def distribute_round_robin(costs: Sequence[float], n_ranks: int) -> np.ndarray:
+    """Assign box ``i`` to rank ``i % n_ranks``."""
+    costs = _validate(costs, n_ranks)
+    return np.arange(costs.size, dtype=np.intp) % n_ranks
+
+
+def distribute_knapsack(costs: Sequence[float], n_ranks: int) -> np.ndarray:
+    """Longest-processing-time greedy multiway partition.
+
+    Boxes are taken in decreasing cost order and each goes to the
+    currently least-loaded rank — the classic 4/3-approximate heuristic
+    for makespan minimization.
+    """
+    costs = _validate(costs, n_ranks)
+    order = np.argsort(costs)[::-1]
+    assignment = np.empty(costs.size, dtype=np.intp)
+    heap = [(0.0, r) for r in range(n_ranks)]
+    heapq.heapify(heap)
+    for i in order:
+        load, rank = heapq.heappop(heap)
+        assignment[i] = rank
+        heapq.heappush(heap, (load + costs[i], rank))
+    return assignment
+
+
+def distribute_sfc(
+    costs: Sequence[float],
+    n_ranks: int,
+    box_centers: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Morton-ordered contiguous split with balanced cumulative cost.
+
+    ``box_centers`` (n_boxes, ndim) are integer-ish box coordinates used
+    to compute the Morton order; if omitted, the boxes are assumed to be
+    already curve-ordered.  Contiguous curve segments go to consecutive
+    ranks, cutting whenever the running cost reaches the per-rank target —
+    WarpX's default strategy, minimizing guard-exchange partners.
+    """
+    costs = _validate(costs, n_ranks)
+    n = costs.size
+    if box_centers is not None:
+        centers = np.asarray(box_centers)
+        codes = morton_encode(
+            [centers[:, d].astype(np.int64) for d in range(centers.shape[1])]
+        )
+        order = np.argsort(codes, kind="stable")
+    else:
+        order = np.arange(n)
+    assignment = np.empty(n, dtype=np.intp)
+    total = float(costs.sum())
+    target = total / n_ranks if total > 0 else 1.0
+    rank = 0
+    acc = 0.0
+    for idx in order:
+        # move to the next rank when the current one is full (never past the last)
+        if acc >= target and rank < n_ranks - 1:
+            rank += 1
+            acc = 0.0
+        assignment[idx] = rank
+        acc += costs[idx]
+    return assignment
+
+
+def load_imbalance(costs: Sequence[float], assignment: np.ndarray, n_ranks: int) -> float:
+    """Max rank load divided by mean rank load (1.0 = perfectly balanced)."""
+    costs = _validate(costs, n_ranks)
+    loads = np.zeros(n_ranks)
+    np.add.at(loads, np.asarray(assignment, dtype=np.intp), costs)
+    mean = loads.mean()
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def rank_loads(costs: Sequence[float], assignment: np.ndarray, n_ranks: int) -> np.ndarray:
+    """Total cost per rank."""
+    costs = _validate(costs, n_ranks)
+    loads = np.zeros(n_ranks)
+    np.add.at(loads, np.asarray(assignment, dtype=np.intp), costs)
+    return loads
+
+
+def should_rebalance(
+    current_imbalance: float, threshold: float = 1.1
+) -> bool:
+    """The dynamic-LB trigger: rebalance when max/mean exceeds ``threshold``."""
+    return current_imbalance > threshold

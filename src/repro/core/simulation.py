@@ -1,0 +1,423 @@
+"""The explicit electromagnetic PIC cycle (paper Fig. 3) on one level.
+
+One :class:`Simulation` owns a Yee grid, a set of species, optional laser
+antennas and an optional moving window, and advances them with the
+standard leapfrog ordering:
+
+1. gather E, B at particle positions (fields and positions at step n),
+2. momentum push (u: n-1/2 -> n+1/2), position push (x: n -> n+1),
+3. charge-conserving current deposition over the motion (J at n+1/2),
+4. laser antenna currents, current smoothing, boundary folds,
+5. Maxwell field advance (E, B: n -> n+1),
+6. field and particle boundaries, moving window shift.
+
+Mesh refinement is layered on top by :class:`repro.core.mr_simulation.
+MRSimulation`, which overrides the gather/deposit/field-advance hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import c
+from repro.diagnostics.timers import Timers
+from repro.exceptions import ConfigurationError
+from repro.grid.boundary import (
+    accumulate_periodic_sources,
+    apply_damping,
+    apply_periodic,
+)
+from repro.grid.maxwell import MaxwellSolver, cfl_dt
+from repro.grid.pml import PMLMaxwellSolver
+from repro.grid.yee import FIELD_COMPONENTS, SOURCE_COMPONENTS, YeeGrid
+from repro.core.moving_window import MovingWindow
+from repro.laser.antenna import LaserAntenna
+from repro.particles.deposit import deposit_current_direct, deposit_current_esirkepov
+from repro.particles.gather import gather_fields
+from repro.particles.injection import DensityProfile, inject_plasma
+from repro.particles.pusher import lorentz_factor, push_boris, push_positions, push_vay
+from repro.particles.shapes import required_guards
+from repro.particles.sorting import sort_species_by_bin
+from repro.particles.species import Species
+
+VALID_BOUNDARIES = ("periodic", "pml", "damped", "open")
+
+
+def smooth_binomial(arr: np.ndarray, axis: int, passes: int = 1) -> None:
+    """In-place (1,2,1)/4 binomial smoothing along ``axis``.
+
+    The standard current filter of electromagnetic PIC codes: damps the
+    short-wavelength noise that drives the finite-grid instability in
+    dense plasmas.
+    """
+    for _ in range(passes):
+        lo = [slice(None)] * arr.ndim
+        hi = [slice(None)] * arr.ndim
+        mid = [slice(None)] * arr.ndim
+        lo[axis] = slice(0, -2)
+        mid[axis] = slice(1, -1)
+        hi[axis] = slice(2, None)
+        arr[tuple(mid)] = (
+            0.25 * arr[tuple(lo)] + 0.5 * arr[tuple(mid)] + 0.25 * arr[tuple(hi)]
+        )
+
+
+class SpeciesEntry:
+    """A species plus its continuous-injection configuration."""
+
+    def __init__(
+        self,
+        species: Species,
+        profile: Optional[DensityProfile] = None,
+        ppc=None,
+        continuous: bool = False,
+        temperature_uth: float = 0.0,
+    ) -> None:
+        self.species = species
+        self.profile = profile
+        self.ppc = ppc
+        self.continuous = continuous
+        self.temperature_uth = temperature_uth
+
+
+class Simulation:
+    """Single-level electromagnetic PIC simulation.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`YeeGrid` to simulate on.
+    dt:
+        Time step [s]; defaults to ``cfl`` times the Courant limit.
+    cfl:
+        Courant fraction used when ``dt`` is not given.
+    shape_order:
+        B-spline order for gather and deposition (1-3).
+    pusher:
+        ``"boris"`` or ``"vay"``.
+    deposition:
+        ``"esirkepov"`` (charge-conserving, default) or ``"direct"``.
+    boundaries:
+        Per-axis boundary family from ``("periodic", "pml", "damped",
+        "open")``; a single string applies to every axis.
+    n_absorber:
+        Thickness (cells) of the PML / damping layers.
+    smoothing_passes:
+        Binomial current-filter passes per step (0 disables).
+    sort_interval:
+        Steps between Morton re-sorts of the particles (0 disables).
+    maxwell_solver:
+        ``"yee"`` (explicit FDTD, the paper's production solver) or
+        ``"psatd"`` (spectral; requires fully periodic boundaries).
+    """
+
+    def __init__(
+        self,
+        grid: YeeGrid,
+        dt: Optional[float] = None,
+        cfl: float = 0.95,
+        shape_order: int = 2,
+        pusher: str = "boris",
+        deposition: str = "esirkepov",
+        boundaries="periodic",
+        n_absorber: int = 8,
+        smoothing_passes: int = 1,
+        sort_interval: int = 0,
+        timers: Optional[Timers] = None,
+        maxwell_solver: str = "yee",
+    ) -> None:
+        self.grid = grid
+        self.dt = float(dt) if dt is not None else cfl_dt(grid.dx, cfl)
+        self.shape_order = int(shape_order)
+        if grid.guards < required_guards(self.shape_order) + 1:
+            raise ConfigurationError(
+                f"shape order {shape_order} needs at least "
+                f"{required_guards(self.shape_order) + 1} guard cells"
+            )
+        if pusher not in ("boris", "vay"):
+            raise ConfigurationError(f"unknown pusher {pusher!r}")
+        self._push_momenta = push_boris if pusher == "boris" else push_vay
+        if deposition not in ("esirkepov", "direct"):
+            raise ConfigurationError(f"unknown deposition {deposition!r}")
+        self.deposition = deposition
+        if isinstance(boundaries, str):
+            boundaries = (boundaries,) * grid.ndim
+        if len(boundaries) != grid.ndim:
+            raise ConfigurationError("need one boundary family per axis")
+        for b in boundaries:
+            if b not in VALID_BOUNDARIES:
+                raise ConfigurationError(f"unknown boundary {b!r}")
+        self.boundaries = tuple(boundaries)
+        self.n_absorber = int(n_absorber)
+        self.smoothing_passes = int(smoothing_passes)
+        self.sort_interval = int(sort_interval)
+        self.timers = timers if timers is not None else Timers()
+
+        if maxwell_solver not in ("yee", "psatd"):
+            raise ConfigurationError(f"unknown Maxwell solver {maxwell_solver!r}")
+        self.maxwell_solver = maxwell_solver
+        pml_axes = tuple(
+            d for d, b in enumerate(self.boundaries) if b == "pml"
+        )
+        if maxwell_solver == "psatd":
+            if any(b != "periodic" for b in self.boundaries):
+                raise ConfigurationError(
+                    "the PSATD solver requires fully periodic boundaries"
+                )
+            from repro.grid.psatd import PSATDMaxwellSolver
+
+            self.solver = PSATDMaxwellSolver(grid, self.dt)
+        elif pml_axes:
+            self.solver = PMLMaxwellSolver(
+                grid, self.dt, n_pml=self.n_absorber, axes=pml_axes
+            )
+        else:
+            self.solver = MaxwellSolver(grid, self.dt)
+
+        self.entries: Dict[str, SpeciesEntry] = {}
+        self.antennas: List[LaserAntenna] = []
+        self.moving_window: Optional[MovingWindow] = None
+        self.time = 0.0
+        self.step_count = 0
+        #: hooks called as f(sim) after each completed step
+        self.callbacks: List[Callable[["Simulation"], None]] = []
+
+    # -- configuration ----------------------------------------------------
+    @property
+    def species(self) -> Dict[str, Species]:
+        return {name: e.species for name, e in self.entries.items()}
+
+    def add_species(
+        self,
+        species: Species,
+        profile: Optional[DensityProfile] = None,
+        ppc=None,
+        continuous_injection: bool = False,
+        temperature_uth: float = 0.0,
+        lo=None,
+        hi=None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Species:
+        """Register a species; optionally fill the grid from ``profile``."""
+        if species.ndim != self.grid.ndim:
+            raise ConfigurationError("species and grid dimensionality differ")
+        if species.name in self.entries:
+            raise ConfigurationError(f"duplicate species {species.name!r}")
+        self.entries[species.name] = SpeciesEntry(
+            species, profile, ppc, continuous_injection, temperature_uth
+        )
+        if profile is not None and ppc is not None:
+            inject_plasma(
+                species,
+                self.grid,
+                profile,
+                ppc,
+                lo=lo,
+                hi=hi,
+                temperature_uth=temperature_uth,
+                rng=rng,
+            )
+        return species
+
+    def add_laser(self, antenna: LaserAntenna) -> None:
+        self.antennas.append(antenna)
+
+    def set_moving_window(self, window: MovingWindow) -> None:
+        if self.boundaries[0] == "pml":
+            raise ConfigurationError(
+                "the moving window requires non-PML x boundaries "
+                "(use 'damped' or 'open'); split PML state cannot be shifted"
+            )
+        self.moving_window = window
+
+    # -- hooks overridden by the MR simulation ------------------------------
+    def _gather(self, species: Species) -> Tuple[np.ndarray, np.ndarray]:
+        return gather_fields(self.grid, species.positions, self.shape_order)
+
+    def _deposit(
+        self,
+        species: Species,
+        x_old: np.ndarray,
+        x_new: np.ndarray,
+        velocities: np.ndarray,
+    ) -> None:
+        if self.deposition == "esirkepov":
+            deposit_current_esirkepov(
+                self.grid,
+                x_old,
+                x_new,
+                velocities,
+                species.weights,
+                species.charge,
+                self.dt,
+                self.shape_order,
+            )
+        else:
+            deposit_current_direct(
+                self.grid,
+                0.5 * (x_old + x_new),
+                velocities,
+                species.weights,
+                species.charge,
+                self.shape_order,
+            )
+
+    def _finalize_deposits(self) -> None:
+        """Hook: combine per-level deposits (used by the MR simulation)."""
+
+    def _advance_fields(self) -> None:
+        if self.maxwell_solver == "psatd":
+            self.solver.step()  # PSATD advances E and B together
+            return
+        self.solver.push_b(0.5)
+        self.solver.push_e(1.0)
+        self.solver.push_b(0.5)
+
+    # -- the PIC cycle ------------------------------------------------------
+    def step(self, n: int = 1) -> None:
+        """Advance the simulation ``n`` steps."""
+        for _ in range(n):
+            self._single_step()
+
+    def _single_step(self) -> None:
+        g = self.grid
+        self.timers.reset_lap()
+        with self.timers.timer("zero_sources"):
+            g.zero_sources()
+
+        for entry in self.entries.values():
+            sp = entry.species
+            if sp.n == 0:
+                continue
+            with self.timers.timer("gather"):
+                e_f, b_f = self._gather(sp)
+            with self.timers.timer("push"):
+                sp.momenta = self._push_momenta(
+                    sp.momenta, e_f, b_f, sp.charge, sp.mass, self.dt
+                )
+                x_old = sp.positions
+                sp.positions = push_positions(x_old, sp.momenta, self.dt, g.ndim)
+            with self.timers.timer("deposit"):
+                vel = sp.momenta * (c / lorentz_factor(sp.momenta))[:, None]
+                self._deposit(sp, x_old, sp.positions, vel)
+
+        with self.timers.timer("finalize_deposits"):
+            self._finalize_deposits()
+
+        with self.timers.timer("antenna"):
+            for antenna in self.antennas:
+                antenna.add_current(g, self.time + 0.5 * self.dt)
+
+        with self.timers.timer("source_boundaries"):
+            if self.smoothing_passes > 0:
+                for comp in ("Jx", "Jy", "Jz"):
+                    for axis in range(g.ndim):
+                        smooth_binomial(
+                            g.fields[comp], axis, self.smoothing_passes
+                        )
+            for axis, b in enumerate(self.boundaries):
+                if b == "periodic":
+                    accumulate_periodic_sources(g, axis)
+
+        with self.timers.timer("maxwell"):
+            self._advance_fields()
+
+        with self.timers.timer("field_boundaries"):
+            for axis, b in enumerate(self.boundaries):
+                if b == "periodic":
+                    apply_periodic(g, axis)
+                elif b == "damped":
+                    apply_damping(g, axis, self.n_absorber, strength=0.04)
+
+        with self.timers.timer("particle_boundaries"):
+            self._apply_particle_boundaries()
+
+        if self.moving_window is not None:
+            with self.timers.timer("moving_window"):
+                shifts = self.moving_window.cells_to_shift(
+                    self.time, self.dt, g.dx[0]
+                )
+                for _ in range(shifts):
+                    self._shift_window_one_cell()
+
+        if (
+            self.sort_interval > 0
+            and self.step_count % self.sort_interval == self.sort_interval - 1
+        ):
+            with self.timers.timer("sort"):
+                for entry in self.entries.values():
+                    if entry.species.n:
+                        sort_species_by_bin(entry.species, g)
+
+        self.time += self.dt
+        self.step_count += 1
+        self.timers.lap()
+        for cb in self.callbacks:
+            cb(self)
+
+    # -- boundaries / window -------------------------------------------------
+    def _apply_particle_boundaries(self) -> None:
+        g = self.grid
+        for entry in self.entries.values():
+            sp = entry.species
+            if sp.n == 0:
+                continue
+            for axis in range(g.ndim):
+                length = g.hi[axis] - g.lo[axis]
+                x = sp.positions[:, axis]
+                if self.boundaries[axis] == "periodic":
+                    np.mod(x - g.lo[axis], length, out=x)
+                    x += g.lo[axis]
+                else:
+                    out = (x < g.lo[axis]) | (x >= g.hi[axis])
+                    if np.any(out):
+                        sp.remove(out)
+
+    def _shift_window_one_cell(self) -> None:
+        """Move the domain one cell along the window direction: roll
+        fields, cull trailing particles, inject fresh plasma in the
+        leading cells."""
+        g = self.grid
+        sign = self.moving_window.direction
+        for name in FIELD_COMPONENTS + SOURCE_COMPONENTS:
+            arr = g.fields[name]
+            arr[...] = np.roll(arr, -sign, axis=0)
+            if sign > 0:
+                arr[-1, ...] = 0.0
+            else:
+                arr[0, ...] = 0.0
+        g.lo = (g.lo[0] + sign * g.dx[0],) + g.lo[1:]
+        g.hi = (g.hi[0] + sign * g.dx[0],) + g.hi[1:]
+        for entry in self.entries.values():
+            sp = entry.species
+            if sp.n:
+                if sign > 0:
+                    sp.remove(sp.positions[:, 0] < g.lo[0])
+                else:
+                    sp.remove(sp.positions[:, 0] >= g.hi[0])
+            if entry.continuous and entry.profile is not None:
+                if sign > 0:
+                    lead_lo = (g.hi[0] - g.dx[0],) + g.lo[1:]
+                    lead_hi = g.hi
+                else:
+                    lead_lo = g.lo
+                    lead_hi = (g.lo[0] + g.dx[0],) + g.hi[1:]
+                inject_plasma(
+                    sp,
+                    g,
+                    entry.profile,
+                    entry.ppc,
+                    lo=lead_lo,
+                    hi=lead_hi,
+                    temperature_uth=entry.temperature_uth,
+                )
+
+    # -- convenience ---------------------------------------------------------
+    def run_until(self, t_end: float) -> None:
+        while self.time < t_end - 1e-30:
+            self._single_step()
+
+    def total_particles(self) -> int:
+        return sum(e.species.n for e in self.entries.values())

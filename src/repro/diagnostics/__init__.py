@@ -1,0 +1,33 @@
+"""Diagnostics: energy budgets, beam properties, particle spectra, field
+probes and wall-clock timers with per-kernel breakdowns."""
+
+from repro.diagnostics.energy import EnergyDiagnostic
+from repro.diagnostics.beam import beam_charge, beam_statistics, BeamHistory
+from repro.diagnostics.spectrum import energy_spectrum, spectral_peak_and_spread
+from repro.diagnostics.probes import FieldProbe, DensityProbe
+from repro.diagnostics.timers import Timers
+from repro.diagnostics.io import (
+    save_checkpoint,
+    load_checkpoint,
+    save_snapshot,
+    load_snapshot,
+)
+from repro.diagnostics.gauss import gauss_law_residual, GaussLawMonitor
+
+__all__ = [
+    "EnergyDiagnostic",
+    "beam_charge",
+    "beam_statistics",
+    "BeamHistory",
+    "energy_spectrum",
+    "spectral_peak_and_spread",
+    "FieldProbe",
+    "DensityProbe",
+    "Timers",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_snapshot",
+    "load_snapshot",
+    "gauss_law_residual",
+    "GaussLawMonitor",
+]

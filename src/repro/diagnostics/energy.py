@@ -1,0 +1,43 @@
+"""Energy budget diagnostic.
+
+Tracks field energy, per-species kinetic energy and the total over time.
+In a closed (periodic) system without an antenna the total is conserved to
+the accuracy of the leapfrog scheme — the classic PIC sanity check used in
+the integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+class EnergyDiagnostic:
+    """Record the energy budget of a simulation over time."""
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.field_energy: List[float] = []
+        self.kinetic_energy: Dict[str, List[float]] = {}
+
+    def record(self, time: float, grid, species_list: Sequence) -> None:
+        """Append one sample of the energy budget."""
+        self.times.append(float(time))
+        self.field_energy.append(grid.field_energy())
+        for sp in species_list:
+            self.kinetic_energy.setdefault(sp.name, []).append(sp.kinetic_energy())
+
+    def total_energy(self) -> np.ndarray:
+        """Field + kinetic total per recorded sample."""
+        total = np.array(self.field_energy)
+        for hist in self.kinetic_energy.values():
+            total = total + np.array(hist)
+        return total
+
+    def relative_drift(self) -> float:
+        """|E(t_end) - E(t_0)| / E(t_0); 0 for perfect conservation."""
+        total = self.total_energy()
+        if len(total) < 2 or total[0] == 0.0:
+            return 0.0
+        return float(abs(total[-1] - total[0]) / abs(total[0]))

@@ -1,0 +1,66 @@
+"""Field and density probes: record snapshots or slices over time.
+
+Back the Fig. 7(c,d)-style visualizations (laser amplitude over plasma
+density in the x-z plane) and the field comparisons of the MR tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DiagnosticError
+from repro.grid.yee import FIELD_COMPONENTS, YeeGrid
+from repro.particles.deposit import deposit_charge
+
+
+class FieldProbe:
+    """Record copies of selected field components at chosen times."""
+
+    def __init__(self, components: Sequence[str] = ("Ey",)) -> None:
+        for comp in components:
+            if comp not in FIELD_COMPONENTS + ("Jx", "Jy", "Jz", "rho"):
+                raise DiagnosticError(f"unknown field component {comp!r}")
+        self.components = tuple(components)
+        self.times: List[float] = []
+        self.snapshots: List[Dict[str, np.ndarray]] = []
+
+    def record(self, time: float, grid: YeeGrid) -> None:
+        self.times.append(float(time))
+        self.snapshots.append(
+            {c: grid.interior_view(c).copy() for c in self.components}
+        )
+
+    def last(self, component: str) -> np.ndarray:
+        if not self.snapshots:
+            raise DiagnosticError("no snapshots recorded")
+        return self.snapshots[-1][component]
+
+
+class DensityProbe:
+    """Deposit and record the number density of a species on demand.
+
+    Uses a scratch grid so the simulation's rho (which may hold the total
+    charge density) is not disturbed.
+    """
+
+    def __init__(self, order: int = 1) -> None:
+        self.order = order
+        self.times: List[float] = []
+        self.snapshots: List[np.ndarray] = []
+
+    def record(self, time: float, grid: YeeGrid, species) -> np.ndarray:
+        scratch = YeeGrid(grid.n_cells, grid.lo, grid.hi, grid.guards, grid.dtype)
+        if species.n:
+            deposit_charge(
+                scratch,
+                species.positions,
+                species.weights,
+                charge=1.0,  # unit charge => number density
+                order=self.order,
+            )
+        snap = scratch.interior_view("rho").copy()
+        self.times.append(float(time))
+        self.snapshots.append(snap)
+        return snap

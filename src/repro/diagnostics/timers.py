@@ -1,0 +1,64 @@
+"""Wall-clock timers with per-kernel breakdown.
+
+The paper reports time-to-solution measured with timers around the PIC
+kernels; :class:`Timers` provides the same bookkeeping (plus call counts),
+is cheap enough to stay always-on, and backs both the Fig. 6 benchmark and
+the dynamic load balancer's measured-cost mode.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+
+class Timers:
+    """Named accumulating wall-clock timers."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        #: per-step wall-clock history appended by :meth:`lap`
+        self.step_times: List[float] = []
+        self._lap_start: float = time.perf_counter()
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager accumulating into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def lap(self) -> float:
+        """Close the current per-step lap and append it to the history."""
+        now = time.perf_counter()
+        elapsed = now - self._lap_start
+        self._lap_start = now
+        self.step_times.append(elapsed)
+        return elapsed
+
+    def reset_lap(self) -> None:
+        self._lap_start = time.perf_counter()
+
+    def total(self) -> float:
+        """Sum over all named timers."""
+        return sum(self.totals.values())
+
+    def report(self) -> str:
+        """Human-readable breakdown sorted by total time."""
+        lines = ["timer breakdown:"]
+        for name, total in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"  {name:<24s} {total:10.4f}s  ({self.counts[name]} calls)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for :mod:`repro`.
+
+A single root type, :class:`ReproError`, lets callers catch everything the
+library raises deliberately, while subclasses keep failure modes
+distinguishable in tests and user code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation/model was configured inconsistently (bad shapes, CFL, ...)."""
+
+
+class StabilityError(ReproError):
+    """A numerical stability condition was violated (e.g. CFL limit)."""
+
+
+class DecompositionError(ReproError):
+    """Domain decomposition could not be constructed as requested."""
+
+
+class CommunicationError(ReproError):
+    """The simulated communicator was used incorrectly."""
+
+
+class DiagnosticError(ReproError):
+    """A diagnostic was asked for data that does not exist."""

@@ -1,0 +1,160 @@
+"""Domain boundary conditions for single-patch grids.
+
+Three families are provided:
+
+* periodic — guard cells wrap around the valid region,
+* conductor — perfect electric conductor (tangential E and normal B zeroed
+  on the wall, fields mirrored into the guards),
+* damping — graded exponential absorber (the cheap alternative to the PML,
+  used by several production PIC codes for large outer boundaries).
+
+Boundaries act on one grid axis at a time so that per-axis mixes (e.g.
+periodic transverse + absorbing longitudinal) are expressible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.yee import STAGGER, FIELD_COMPONENTS, YeeGrid
+
+
+def _axis_slice(ndim: int, axis: int, sl: slice):
+    out = [slice(None)] * ndim
+    out[axis] = sl
+    return tuple(out)
+
+
+def apply_periodic(grid: YeeGrid, axis: int, components=None) -> None:
+    """Fill guard cells along ``axis`` from the periodic image of the valid data.
+
+    For a nodal component the first and last valid planes are physically the
+    same point, so the period is ``n_cells`` for every staggering.
+    """
+    g = grid.guards
+    n = grid.n_cells[axis]
+    names = components if components is not None else list(grid.fields)
+    for name in names:
+        arr = grid.fields[name]
+        stag = STAGGER[name][axis]
+        # identify the duplicated nodal plane: arr[g] == arr[g+n]
+        if stag == 0:
+            arr[_axis_slice(arr.ndim, axis, slice(g + n, g + n + 1))] = arr[
+                _axis_slice(arr.ndim, axis, slice(g, g + 1))
+            ]
+        # low guards <- image of high valid region
+        arr[_axis_slice(arr.ndim, axis, slice(0, g))] = arr[
+            _axis_slice(arr.ndim, axis, slice(n, n + g))
+        ]
+        # high guards <- image of low valid region
+        hi0 = g + n + 1 - stag
+        arr[_axis_slice(arr.ndim, axis, slice(hi0, hi0 + g + stag))] = arr[
+            _axis_slice(arr.ndim, axis, slice(g + 1 - stag, g + 1 + g))
+        ]
+
+
+def accumulate_periodic_sources(grid: YeeGrid, axis: int) -> None:
+    """Fold guard-cell deposits of J and rho back into the valid region.
+
+    Deposition writes into the guards when a particle sits near the wall;
+    with periodic boundaries those contributions belong to the opposite
+    side and must be *added* (not copied) before the field push.
+    """
+    g = grid.guards
+    n = grid.n_cells[axis]
+    for name in ("Jx", "Jy", "Jz", "rho"):
+        arr = grid.fields[name]
+        stag = STAGGER[name][axis]
+        nd = arr.ndim
+        # low guards fold onto the top of the valid region
+        arr[_axis_slice(nd, axis, slice(n, n + g))] += arr[
+            _axis_slice(nd, axis, slice(0, g))
+        ]
+        # high guards fold onto the bottom
+        hi0 = g + n + 1 - stag
+        extent = arr.shape[axis] - hi0
+        arr[_axis_slice(nd, axis, slice(g + 1 - stag, g + 1 - stag + extent))] += arr[
+            _axis_slice(nd, axis, slice(hi0, None))
+        ]
+        if stag == 0:
+            # the duplicated nodal plane holds the same physical point
+            arr[_axis_slice(nd, axis, slice(g, g + 1))] += arr[
+                _axis_slice(nd, axis, slice(g + n, g + n + 1))
+            ]
+            arr[_axis_slice(nd, axis, slice(g + n, g + n + 1))] = arr[
+                _axis_slice(nd, axis, slice(g, g + 1))
+            ]
+        arr[_axis_slice(nd, axis, slice(0, g))] = 0.0
+        arr[_axis_slice(nd, axis, slice(hi0, None))] = 0.0
+
+
+def apply_conductor(grid: YeeGrid, axis: int) -> None:
+    """Perfect-electric-conductor walls on both ends of ``axis``.
+
+    Tangential E (components nodal along ``axis``) vanish on the wall plane
+    and are odd-mirrored into the guards; normal E and tangential B are
+    even-mirrored, which makes the wall a perfect reflector.
+    """
+    g = grid.guards
+    n = grid.n_cells[axis]
+    for name in FIELD_COMPONENTS:
+        arr = grid.fields[name]
+        stag = STAGGER[name][axis]
+        nd = arr.ndim
+        is_e = name.startswith("E")
+        tangential_e = is_e and stag == 0
+        normal_b = (not is_e) and stag == 0
+        odd = tangential_e or normal_b
+        if odd and stag == 0:
+            arr[_axis_slice(nd, axis, slice(g, g + 1))] = 0.0
+            arr[_axis_slice(nd, axis, slice(g + n, g + n + 1))] = 0.0
+        sign = -1.0 if odd else 1.0
+        for k in range(1, g + 1):
+            if stag == 0:
+                lo_src, lo_dst = g + k, g - k
+                hi_src, hi_dst = g + n - k, g + n + k
+            else:
+                lo_src, lo_dst = g + k - 1, g - k
+                hi_src, hi_dst = g + n - k, g + n + k - 1
+            if hi_dst >= arr.shape[axis]:
+                continue
+            arr[_axis_slice(nd, axis, slice(lo_dst, lo_dst + 1))] = sign * arr[
+                _axis_slice(nd, axis, slice(lo_src, lo_src + 1))
+            ]
+            arr[_axis_slice(nd, axis, slice(hi_dst, hi_dst + 1))] = sign * arr[
+                _axis_slice(nd, axis, slice(hi_src, hi_src + 1))
+            ]
+
+
+def damping_profile(n_layer: int, strength: float = 0.02, power: int = 2) -> np.ndarray:
+    """Per-plane multiplicative damping factors, 1.0 at the inner edge.
+
+    ``factor[k] = 1 - strength * ((n_layer - k)/n_layer)^power`` for plane
+    ``k`` counted from the outer edge inward; applied every step this gives
+    a smooth exponential decay of outgoing waves.
+    """
+    k = np.arange(n_layer, dtype=np.float64)
+    depth = (n_layer - k) / n_layer
+    return 1.0 - strength * depth**power
+
+
+def apply_damping(
+    grid: YeeGrid,
+    axis: int,
+    n_layer: int,
+    strength: float = 0.02,
+    power: int = 2,
+    sides: str = "both",
+) -> None:
+    """Multiply E and B by a graded profile inside layers at the axis ends."""
+    factors = damping_profile(n_layer, strength, power)
+    nd = grid.fields["Ex"].ndim
+    size = grid.shape[axis]
+    for name in FIELD_COMPONENTS:
+        arr = grid.fields[name]
+        if sides in ("both", "low"):
+            for k in range(n_layer):
+                arr[_axis_slice(nd, axis, slice(k, k + 1))] *= factors[k]
+        if sides in ("both", "high"):
+            for k in range(n_layer):
+                arr[_axis_slice(nd, axis, slice(size - 1 - k, size - k))] *= factors[k]

@@ -1,0 +1,87 @@
+"""Spectral Poisson solver for self-consistent initialization.
+
+Electromagnetic PIC runs need an initial E field consistent with the
+initial charge density (div E = rho/eps0); starting a non-neutral
+configuration — e.g. a relativistic beam — from E = 0 launches a spurious
+transient.  On periodic domains the solve is exact in k-space:
+``phi_hat = rho_hat / (eps0 k^2)``, ``E = -grad phi``, with the gradient
+evaluated spectrally on each component's staggered lattice so the result
+satisfies the *discrete* (backward-difference) Gauss law used everywhere
+else in the package.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.constants import eps0
+from repro.exceptions import ConfigurationError
+from repro.grid.boundary import apply_periodic
+from repro.grid.yee import STAGGER, YeeGrid
+
+
+def solve_poisson(grid: YeeGrid, set_fields: bool = True) -> np.ndarray:
+    """Solve ``div E = rho/eps0`` on a periodic grid from ``grid.rho``.
+
+    The k = 0 (net charge) mode is projected out — a periodic universe
+    must be neutral, and dropping the mode reproduces the usual uniform
+    neutralizing background.  Returns the potential on the unique nodes;
+    when ``set_fields`` is true, writes ``Ex/Ey/Ez`` (staggered) so that
+    the *discrete* backward-difference divergence matches ``rho/eps0``
+    exactly.
+    """
+    g = grid.guards
+    n = grid.n_cells
+    sl = tuple(slice(g, g + nn) for nn in n)
+    rho = grid.fields["rho"][sl]
+    rho_hat = np.fft.fftn(rho)
+
+    # discrete eigenvalues of the backward-difference Laplacian: using
+    # K_d = (1 - exp(-i k dx)) / dx for the backward difference makes the
+    # resulting E satisfy the same discrete Gauss law the diagnostics use
+    ks = [2.0 * np.pi * np.fft.fftfreq(n[d], d=grid.dx[d]) for d in range(grid.ndim)]
+    mesh = np.meshgrid(*ks, indexing="ij")
+    k_back = [
+        (1.0 - np.exp(-1j * mesh[d] * grid.dx[d])) / grid.dx[d]
+        for d in range(grid.ndim)
+    ]
+    # forward difference is the adjoint: K_f = (exp(+i k dx) - 1) / dx
+    k_fwd = [
+        (np.exp(1j * mesh[d] * grid.dx[d]) - 1.0) / grid.dx[d]
+        for d in range(grid.ndim)
+    ]
+    lap = sum(kb * kf for kb, kf in zip(k_back, k_fwd))
+    lap_flat = lap.reshape(-1)
+    rho_flat = rho_hat.reshape(-1)
+    phi_flat = np.zeros_like(rho_flat)
+    nonzero = np.abs(lap_flat) > 1e-30
+    phi_flat[nonzero] = -rho_flat[nonzero] / (eps0 * lap_flat[nonzero])
+    phi_hat = phi_flat.reshape(lap.shape)
+
+    if set_fields:
+        for d, comp in enumerate(("Ex", "Ey", "Ez")[: grid.ndim]):
+            # E = -grad phi with the forward difference (node -> face),
+            # whose backward-difference divergence is the discrete
+            # Laplacian above
+            e_hat = -k_fwd[d] * phi_hat
+            e_real = np.fft.ifftn(e_hat).real
+            grid.fields[comp][sl] = e_real
+        for axis in range(grid.ndim):
+            apply_periodic(grid, axis)
+    return np.fft.ifftn(phi_hat).real
+
+
+def initialize_space_charge(grid: YeeGrid, species_list: Sequence, order: int = 2) -> None:
+    """Deposit the species' charge and set the self-consistent E field."""
+    from repro.particles.deposit import deposit_charge
+    from repro.grid.boundary import accumulate_periodic_sources
+
+    grid.fields["rho"].fill(0.0)
+    for sp in species_list:
+        if sp.n:
+            deposit_charge(grid, sp.positions, sp.weights, sp.charge, order)
+    for axis in range(grid.ndim):
+        accumulate_periodic_sources(grid, axis)
+    solve_poisson(grid, set_fields=True)

@@ -1,0 +1,165 @@
+"""Pseudo-Spectral Analytical Time-Domain (PSATD) Maxwell solver.
+
+The last capability row of the paper's Table I: WarpX's spectral solver,
+key to the boosted-frame extension because its exact vacuum dispersion
+removes the numerical Cherenkov instability that plagues FDTD in flowing
+plasmas (Lehe et al. 2016, paper ref. [51]).
+
+The update integrates Maxwell's equations *analytically* over one step in
+k-space, assuming J constant during the step (Haber et al. 1973):
+
+    E+ = C E + i S k_hat x (cB) - S/(eps0 c k) J
+         + (1 - C) k_hat (k_hat . E) + k_hat (k_hat . J) (S/(eps0 c k) - dt/eps0)
+    cB+ = C cB - i S k_hat x E + i (1 - C)/(eps0 c k) k_hat x J
+
+with C = cos(c k dt), S = sin(c k dt).  There is **no CFL limit** and the
+vacuum dispersion relation is exact at any dt.
+
+Yee staggering is honored spectrally: each component's half-cell offsets
+are absorbed into per-component phase factors exp(-i k . s dx/2) before
+the update and restored after, so the solver is a drop-in replacement for
+the FDTD solver on periodic domains (the particle kernels see the same
+staggered real-space data).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import c, eps0
+from repro.exceptions import ConfigurationError
+from repro.grid.boundary import apply_periodic
+from repro.grid.yee import FIELD_COMPONENTS, STAGGER, YeeGrid
+
+
+class PSATDMaxwellSolver:
+    """Spectral Maxwell solver on a fully periodic :class:`YeeGrid`.
+
+    Parameters
+    ----------
+    grid:
+        The grid to advance; all axes are treated as periodic.
+    dt:
+        Time step [s] — unconstrained by any Courant condition.
+    """
+
+    def __init__(self, grid: YeeGrid, dt: float) -> None:
+        if grid.ndim < 1:
+            raise ConfigurationError("PSATD needs at least one axis")
+        self.grid = grid
+        self.dt = float(dt)
+        n = grid.n_cells
+        # angular wavenumbers of the unique (length-n) periodic samples
+        ks = [
+            2.0 * np.pi * np.fft.fftfreq(n[d], d=grid.dx[d])
+            for d in range(grid.ndim)
+        ]
+        mesh = np.meshgrid(*ks, indexing="ij")
+        # embed into 3 components (missing axes carry k = 0: invariance)
+        self.kvec = [
+            mesh[d] if d < grid.ndim else np.zeros_like(mesh[0])
+            for d in range(3)
+        ]
+        self.k_mag = np.sqrt(sum(k**2 for k in self.kvec))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            self.k_hat = [
+                np.where(self.k_mag > 0, k / np.where(self.k_mag > 0, self.k_mag, 1.0), 0.0)
+                for k in self.kvec
+            ]
+        theta = c * self.k_mag * self.dt
+        self.cos = np.cos(theta)
+        self.sin = np.sin(theta)
+        # S / (eps0 c k), with the k -> 0 limit dt/eps0
+        self.j_coeff = np.where(
+            self.k_mag > 0,
+            self.sin / (eps0 * c * np.where(self.k_mag > 0, self.k_mag, 1.0)),
+            self.dt / eps0,
+        )
+        # per-component staggering phases exp(-i k . s dx / 2)
+        self._phase: Dict[str, np.ndarray] = {}
+        for comp in FIELD_COMPONENTS + ("Jx", "Jy", "Jz"):
+            s = STAGGER[comp]
+            phase = np.zeros_like(self.k_mag)
+            for d in range(grid.ndim):
+                phase = phase + self.kvec[d] * (0.5 * s[d] * grid.dx[d])
+            self._phase[comp] = np.exp(-1j * phase)
+
+    # -- real <-> spectral ---------------------------------------------------
+    def _unique_slices(self, component: str) -> Tuple[slice, ...]:
+        """The n (not n+1) unique periodic samples of a component."""
+        g = self.grid.guards
+        return tuple(slice(g, g + n) for n in self.grid.n_cells)
+
+    def _to_spectral(self, component: str) -> np.ndarray:
+        arr = self.grid.fields[component][self._unique_slices(component)]
+        return np.fft.fftn(arr) * self._phase[component]
+
+    def _from_spectral(self, component: str, spec: np.ndarray) -> None:
+        arr = np.fft.ifftn(spec / self._phase[component]).real
+        self.grid.fields[component][self._unique_slices(component)] = arr
+
+    # -- the update ------------------------------------------------------------
+    @staticmethod
+    def _cross(a, b):
+        return [
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        ]
+
+    @staticmethod
+    def _dot(a, b):
+        return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+    def step(self) -> None:
+        """Advance E and B by dt (J assumed constant over the step)."""
+        e_hat = [self._to_spectral(comp) for comp in ("Ex", "Ey", "Ez")]
+        cb_hat = [c * self._to_spectral(comp) for comp in ("Bx", "By", "Bz")]
+        j_hat = [self._to_spectral(comp) for comp in ("Jx", "Jy", "Jz")]
+
+        khat = self.k_hat
+        cos, sin, jc = self.cos, self.sin, self.j_coeff
+        k_dot_e = self._dot(khat, e_hat)
+        k_dot_j = self._dot(khat, j_hat)
+        k_x_cb = self._cross(khat, cb_hat)
+        k_x_e = self._cross(khat, e_hat)
+        k_x_j = self._cross(khat, j_hat)
+
+        # the longitudinal-J correction (S/(eps0 c k) - dt/eps0); -> 0 as k -> 0
+        long_corr = jc - self.dt / eps0
+        inv_k = np.where(self.k_mag > 0, 1.0 / np.where(self.k_mag > 0, self.k_mag, 1.0), 0.0)
+        b_j_coeff = (1.0 - cos) * inv_k / (eps0 * c)
+
+        new_e = []
+        new_cb = []
+        for i in range(3):
+            new_e.append(
+                cos * e_hat[i]
+                + 1j * sin * k_x_cb[i]
+                - jc * j_hat[i]
+                + (1.0 - cos) * khat[i] * k_dot_e
+                + khat[i] * k_dot_j * long_corr
+            )
+            new_cb.append(
+                cos * cb_hat[i]
+                - 1j * sin * k_x_e[i]
+                + 1j * b_j_coeff * k_x_j[i]
+            )
+
+        for i, comp in enumerate(("Ex", "Ey", "Ez")):
+            self._from_spectral(comp, new_e[i])
+        for i, comp in enumerate(("Bx", "By", "Bz")):
+            self._from_spectral(comp, new_cb[i] / c)
+        for axis in range(self.grid.ndim):
+            apply_periodic(self.grid, axis)
+
+    # drop-in leapfrog-interface compatibility: PSATD advances E and B
+    # together, so the half-B pushes collapse into one full step
+    def push_b(self, fraction: float = 1.0) -> None:  # pragma: no cover
+        raise ConfigurationError(
+            "PSATD advances E and B together; call step() instead"
+        )
+
+    push_e = push_b

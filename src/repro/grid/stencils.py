@@ -1,0 +1,105 @@
+"""Finite-difference stencils on uniformly-shaped staggered arrays.
+
+With the uniform-shape convention of :class:`repro.grid.yee.YeeGrid`, the
+two Yee curl operators reduce to forward differences (node -> half-cell,
+used for the B push) and backward differences (half-cell -> node, used for
+the E push).  The helpers below return arrays of the input shape; the
+first/last plane along the differenced axis is left zero and is always
+hidden inside the guard region when used correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _shifted_slices(ndim: int, axis: int):
+    """(center, plus_one) slice tuples along ``axis`` for a ``ndim`` array."""
+    center = [slice(None)] * ndim
+    plus = [slice(None)] * ndim
+    center[axis] = slice(0, -1)
+    plus[axis] = slice(1, None)
+    return tuple(center), tuple(plus)
+
+
+def diff_forward(arr: np.ndarray, axis: int, dx: float, out: np.ndarray = None) -> np.ndarray:
+    """Forward difference ``(arr[i+1] - arr[i]) / dx`` stored at index ``i``.
+
+    Takes a node-centred quantity to the half-cell point ``i + 1/2``.
+    """
+    if out is None:
+        out = np.zeros_like(arr)
+    center, plus = _shifted_slices(arr.ndim, axis)
+    np.subtract(arr[plus], arr[center], out=out[center])
+    out[center] /= dx
+    # the trailing plane has no right neighbour
+    trail = [slice(None)] * arr.ndim
+    trail[axis] = slice(-1, None)
+    out[tuple(trail)] = 0.0
+    return out
+
+
+def diff_backward(arr: np.ndarray, axis: int, dx: float, out: np.ndarray = None) -> np.ndarray:
+    """Backward difference ``(arr[i] - arr[i-1]) / dx`` stored at index ``i``.
+
+    Takes a half-cell-centred quantity back to the node ``i``.
+    """
+    if out is None:
+        out = np.zeros_like(arr)
+    center, plus = _shifted_slices(arr.ndim, axis)
+    np.subtract(arr[plus], arr[center], out=out[plus])
+    out[plus] /= dx
+    lead = [slice(None)] * arr.ndim
+    lead[axis] = slice(0, 1)
+    out[tuple(lead)] = 0.0
+    return out
+
+
+#: The (component, source-component, axis) wiring of the two curls.  Each
+#: entry of ``curl E`` reads: dB<c>/dt -= sign * dE<s>/d<axis> and uses
+#: forward differences; ``curl B`` is the mirror set with backward
+#: differences for the E push.  Axes refer to x=0, y=1, z=2; terms along
+#: axes that do not exist in a lower-dimensional grid vanish (invariance).
+CURL_TERMS = {
+    # dBx/dt = -(dEz/dy - dEy/dz)
+    "Bx": (("Ez", 1, -1.0), ("Ey", 2, +1.0)),
+    # dBy/dt = -(dEx/dz - dEz/dx)
+    "By": (("Ex", 2, -1.0), ("Ez", 0, +1.0)),
+    # dBz/dt = -(dEy/dx - dEx/dy)
+    "Bz": (("Ey", 0, -1.0), ("Ex", 1, +1.0)),
+    # dEx/dt = c^2 (dBz/dy - dBy/dz) - Jx/eps0
+    "Ex": (("Bz", 1, +1.0), ("By", 2, -1.0)),
+    # dEy/dt = c^2 (dBx/dz - dBz/dx) - Jy/eps0
+    "Ey": (("Bx", 2, +1.0), ("Bz", 0, -1.0)),
+    # dEz/dt = c^2 (dBy/dx - dBx/dy) - Jz/eps0
+    "Ez": (("By", 0, +1.0), ("Bx", 1, -1.0)),
+}
+
+
+def curl_term(
+    fields: dict,
+    component: str,
+    ndim: int,
+    dx,
+    scratch: np.ndarray = None,
+) -> np.ndarray:
+    """Evaluate the curl driving ``component`` (sum of its two terms).
+
+    Terms whose derivative axis does not exist in ``ndim`` dimensions are
+    dropped (invariance along the missing axes).  Returns an array of the
+    field shape; ``scratch`` may be supplied to avoid an allocation.
+    """
+    ref = fields[component]
+    total = np.zeros_like(ref)
+    diff = diff_forward if component.startswith("B") else diff_backward
+    for source, axis, sign in CURL_TERMS[component]:
+        if axis >= ndim:
+            continue
+        term = diff(fields[source], axis, dx[axis], out=scratch)
+        if sign > 0:
+            total += term
+        else:
+            total -= term
+        if scratch is not None:
+            scratch.fill(0.0)
+    return total

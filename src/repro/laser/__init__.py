@@ -1,0 +1,8 @@
+"""Laser substrate: Gaussian pulse profiles and the current-sheet antenna
+used to inject them into the simulation (including oblique incidence, as in
+the paper's 45-degree science case)."""
+
+from repro.laser.profiles import GaussianLaser
+from repro.laser.antenna import LaserAntenna
+
+__all__ = ["GaussianLaser", "LaserAntenna"]

@@ -1,0 +1,96 @@
+"""Current-sheet laser antenna.
+
+A laser is injected by driving a surface current on a grid plane: a sheet
+current ``K = -2 eps0 c E0(t, r)`` radiates a wave of amplitude ``E0``
+symmetrically to both sides of the plane (the backward half is absorbed by
+the boundary behind the antenna).  This is the same soft-source mechanism
+WarpX uses, and unlike hard sources it leaves the plane transparent to
+other waves crossing it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import c, eps0
+from repro.exceptions import ConfigurationError
+from repro.grid.yee import STAGGER, YeeGrid
+from repro.laser.profiles import GaussianLaser
+
+
+class LaserAntenna:
+    """Injects a :class:`GaussianLaser` from a plane of constant x.
+
+    Parameters
+    ----------
+    laser:
+        The pulse to emit.
+    position:
+        x coordinate of the emission plane [m].
+    center:
+        Transverse coordinate(s) of the beam axis [m]; scalar in 2D,
+        pair in 3D, ignored in 1D.
+    """
+
+    def __init__(self, laser: GaussianLaser, position: float, center=0.0) -> None:
+        self.laser = laser
+        self.position = float(position)
+        self.center = center
+
+    def _transverse_distance(self, grid: YeeGrid, component: str):
+        """Distance from the beam axis for every transverse sample point."""
+        if grid.ndim == 1:
+            return np.zeros(1)
+        if grid.ndim == 2:
+            y = (
+                np.arange(grid.shape[1], dtype=np.float64)
+                - grid.guards
+                + 0.5 * STAGGER[component][1]
+            ) * grid.dx[1] + grid.lo[1]
+            return y - float(self.center)
+        y = (
+            np.arange(grid.shape[1], dtype=np.float64)
+            - grid.guards
+            + 0.5 * STAGGER[component][1]
+        ) * grid.dx[1] + grid.lo[1]
+        z = (
+            np.arange(grid.shape[2], dtype=np.float64)
+            - grid.guards
+            + 0.5 * STAGGER[component][2]
+        ) * grid.dx[2] + grid.lo[2]
+        cy, cz = self.center if np.ndim(self.center) else (self.center, 0.0)
+        return np.hypot(y[:, None] - cy, z[None, :] - cz)
+
+    def add_current(self, grid: YeeGrid, t: float) -> None:
+        """Add the antenna's sheet current to the grid's J at time ``t``.
+
+        Skips silently once the pulse has been fully emitted, and when the
+        emission plane has left the (moving-window) domain.
+        """
+        if t > self.laser.total_emission_time():
+            return
+        if not (grid.lo[0] <= self.position < grid.hi[0]):
+            return
+        if grid.ndim == 3 and self.laser.incidence_angle != 0.0:
+            raise ConfigurationError(
+                "oblique incidence is implemented for 1D/2D antennas; "
+                "3D injection must be at normal incidence"
+            )
+        comp = "Jy" if self.laser.polarization == "y" else "Jz"
+        # plane index on the J component's x lattice (nearest sample)
+        stag_x = STAGGER[comp][0]
+        xi = (self.position - grid.lo[0]) / grid.dx[0] + grid.guards - 0.5 * stag_x
+        i_plane = int(round(xi))
+        i_plane = min(max(i_plane, 0), grid.shape[0] - 1)
+        r = self._transverse_distance(grid, comp)
+        e_profile = self.laser.field_at_plane(t, r)
+        sheet = -2.0 * eps0 * c * e_profile / grid.dx[0]
+        arr = grid.fields[comp]
+        if grid.ndim == 1:
+            arr[i_plane] += sheet[0]
+        elif grid.ndim == 2:
+            arr[i_plane, :] += sheet
+        else:
+            arr[i_plane, :, :] += sheet

@@ -1,0 +1,144 @@
+"""Analytic laser pulse profiles.
+
+The science case of the paper uses a PW-class femtosecond pulse (lambda =
+0.8 um, waist 19.5 um, duration 30.8 fs) impinging at 45 degrees on the
+solid target.  :class:`GaussianLaser` models such a pulse: a Gaussian
+temporal envelope, a Gaussian transverse envelope, and an optional
+propagation tilt implemented as a transverse phase ramp plus an envelope
+delay (exact for the plane-wave carrier, paraxial for the envelope).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import a0_to_field, c
+from repro.exceptions import ConfigurationError
+
+
+class GaussianLaser:
+    """A linearly polarized Gaussian laser pulse.
+
+    Parameters
+    ----------
+    wavelength:
+        Carrier wavelength [m].
+    a0:
+        Peak normalized vector potential.
+    waist:
+        1/e^2 intensity radius at focus [m].
+    duration:
+        Field-envelope duration tau [s]; envelope ``exp(-(t/tau)^2)``
+        (the paper quotes 30.8 fs).
+    polarization:
+        ``"y"`` or ``"z"`` — the E-field direction at normal incidence.
+    incidence_angle:
+        Angle [rad] between the propagation direction and +x, tilting the
+        wavefronts in the x-y plane (45 degrees in the science case).
+    t_peak:
+        Time at which the envelope peak crosses the injection plane [s].
+    focal_distance:
+        Distance [m] from the injection plane to the focal plane
+        (downstream positive).  When set, the injected wavefronts carry
+        the converging curvature and amplitude of a real focused Gaussian
+        beam, so the pulse reaches its ``waist`` (and its ``a0``) at the
+        focus — the way the paper's PW pulse is "focused onto" the target.
+        Mutually exclusive with ``incidence_angle``.
+    """
+
+    def __init__(
+        self,
+        wavelength: float,
+        a0: float,
+        waist: float,
+        duration: float,
+        polarization: str = "y",
+        incidence_angle: float = 0.0,
+        t_peak: Optional[float] = None,
+        cep_phase: float = 0.0,
+        focal_distance: Optional[float] = None,
+    ) -> None:
+        if polarization not in ("y", "z"):
+            raise ConfigurationError("polarization must be 'y' or 'z'")
+        if wavelength <= 0 or waist <= 0 or duration <= 0:
+            raise ConfigurationError("wavelength, waist and duration must be positive")
+        if focal_distance is not None and incidence_angle != 0.0:
+            raise ConfigurationError(
+                "focusing and oblique incidence cannot be combined"
+            )
+        self.wavelength = float(wavelength)
+        self.a0 = float(a0)
+        self.waist = float(waist)
+        self.duration = float(duration)
+        self.polarization = polarization
+        self.incidence_angle = float(incidence_angle)
+        self.omega = 2.0 * math.pi * c / self.wavelength
+        self.k = self.omega / c
+        self.e_peak = a0_to_field(self.a0, self.wavelength)
+        self.t_peak = float(t_peak) if t_peak is not None else 3.0 * self.duration
+        self.cep_phase = float(cep_phase)
+        self.focal_distance = (
+            float(focal_distance) if focal_distance is not None else None
+        )
+        #: Rayleigh length of the focused beam [m].
+        self.rayleigh = math.pi * self.waist**2 / self.wavelength
+
+    def envelope(self, t: np.ndarray) -> np.ndarray:
+        """Temporal field envelope, peak 1 at ``t = t_peak``."""
+        return np.exp(-(((t - self.t_peak) / self.duration) ** 2))
+
+    def field_at_plane(self, t: float, transverse: np.ndarray) -> np.ndarray:
+        """E field [V/m] on the injection plane at time ``t``.
+
+        ``transverse`` are the in-plane coordinates (relative to the beam
+        axis) of the antenna samples [m].  The tilt of an oblique pulse
+        appears as a transverse phase ramp ``k sin(theta) r`` and a
+        matching envelope delay ``r sin(theta) / c``; a focused pulse
+        carries the Gaussian-beam curvature, width and Gouy phase of the
+        plane at ``-focal_distance`` from the waist.
+        """
+        transverse = np.asarray(transverse, dtype=np.float64)
+        if self.focal_distance is not None:
+            # Gaussian-beam parameters at z = -focal_distance from focus
+            z = -self.focal_distance
+            zr = self.rayleigh
+            w_z = self.waist * math.sqrt(1.0 + (z / zr) ** 2)
+            inv_r = z / (z**2 + zr**2)  # 1/R(z), signed: converging for z<0
+            gouy = 0.5 * math.atan2(z, zr)  # 2D (one transverse dimension)
+            env_t = self.envelope(t - transverse**2 * inv_r / (2.0 * c))
+            env_r = np.exp(-((transverse / w_z) ** 2))
+            amp = self.e_peak * math.sqrt(self.waist / w_z)
+            phase = (
+                self.omega * t
+                - self.k * transverse**2 * inv_r / 2.0
+                + gouy
+                + self.cep_phase
+            )
+            return amp * env_t * env_r * np.sin(phase)
+        sin_t = math.sin(self.incidence_angle)
+        cos_t = math.cos(self.incidence_angle)
+        t_local = t - transverse * sin_t / c
+        env_t = self.envelope(t_local)
+        # transverse envelope: projected waist on the injection plane
+        w_eff = self.waist / max(cos_t, 1.0e-6)
+        env_r = np.exp(-((transverse / w_eff) ** 2))
+        phase = self.omega * t - self.k * sin_t * transverse + self.cep_phase
+        return self.e_peak * env_t * env_r * np.sin(phase)
+
+    def duration_fwhm_intensity(self) -> float:
+        """Intensity FWHM [s] corresponding to the field envelope tau."""
+        return self.duration * math.sqrt(2.0 * math.log(2.0))
+
+    def total_emission_time(self) -> float:
+        """Time after which the antenna has emitted essentially all energy."""
+        return self.t_peak + 4.0 * self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GaussianLaser(lambda={self.wavelength:.2e}, a0={self.a0}, "
+            f"waist={self.waist:.2e}, tau={self.duration:.2e}, "
+            f"theta={self.incidence_angle:.3f})"
+        )

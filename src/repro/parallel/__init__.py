@@ -1,0 +1,35 @@
+"""Parallelism substrate: AMReX-style block decomposition and a simulated
+MPI layer.
+
+The paper's runs decompose each refinement level into rectangular boxes
+distributed over MPI ranks, with guard-cell halo exchange and particle
+redistribution.  Here the same algorithmic structure runs inside one
+process: :class:`SimComm` routes and *accounts* every message (bytes,
+counts) so the performance model can consume real communication volumes,
+while the physics of a decomposed run is verified to match the monolithic
+run to machine precision."""
+
+from repro.parallel.box import Box, chop_domain
+from repro.parallel.distribution import DistributionMapping
+from repro.parallel.comm import SimComm
+from repro.parallel.halo import (
+    assemble_global,
+    scatter_local,
+    fold_sources_global,
+    halo_bytes_per_box,
+)
+from repro.parallel.redistribute import redistribute_particles
+from repro.parallel.distributed import DistributedSimulation
+
+__all__ = [
+    "Box",
+    "chop_domain",
+    "DistributionMapping",
+    "SimComm",
+    "assemble_global",
+    "scatter_local",
+    "fold_sources_global",
+    "halo_bytes_per_box",
+    "redistribute_particles",
+    "DistributedSimulation",
+]

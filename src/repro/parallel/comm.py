@@ -1,0 +1,137 @@
+"""Simulated communicator with full message accounting.
+
+Stands in for MPI: ranks live in one process and messages move through
+buffers, but every send is *recorded* — source, destination, byte count,
+tag — so the performance model can run on the code's true communication
+volumes rather than estimates.  The interface deliberately mirrors the
+mpi4py buffer idiom (send counted in bytes, collectives as explicit calls).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import CommunicationError
+
+
+class SimComm:
+    """An in-process stand-in for an MPI communicator over ``n_ranks``.
+
+    ``device_buffer_bytes`` models the finite GPU memory available for
+    communication buffers: messages that do not fit "spill" to pinned host
+    memory, WarpX's fall-back for the buffer spikes of large load
+    balancing or mesh-refinement-removal steps (paper Sec. V.A.2).  Spills
+    are counted (and cost a slowdown factor in the performance model) but
+    never fail — exactly the slower-but-safe trade the paper describes.
+    """
+
+    #: modelled pinned-host vs device bandwidth ratio for spilled traffic
+    SPILL_SLOWDOWN = 4.0
+
+    def __init__(self, n_ranks: int, device_buffer_bytes: Optional[int] = None) -> None:
+        if n_ranks < 1:
+            raise CommunicationError("need at least one rank")
+        self.n_ranks = int(n_ranks)
+        self._queues: Dict[Tuple[int, int, str], List[Any]] = defaultdict(list)
+        # accounting
+        self.bytes_sent = np.zeros(self.n_ranks, dtype=np.int64)
+        self.messages_sent = np.zeros(self.n_ranks, dtype=np.int64)
+        self.pair_bytes: Dict[Tuple[int, int], int] = defaultdict(int)
+        self.collective_calls = 0
+        self.barrier_calls = 0
+        # pinned-memory fall-back accounting
+        self.device_buffer_bytes = device_buffer_bytes
+        self._buffer_in_use = np.zeros(self.n_ranks, dtype=np.int64)
+        self.spilled_messages = 0
+        self.spilled_bytes = 0
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.n_ranks):
+            raise CommunicationError(
+                f"rank {rank} out of range [0, {self.n_ranks})"
+            )
+
+    def send(self, src: int, dst: int, payload: Any, tag: str = "") -> None:
+        """Enqueue ``payload`` from ``src`` to ``dst`` and account its size.
+
+        With a finite device buffer, the payload occupies buffer space on
+        the sender until received; overflow spills to pinned memory.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        nbytes = payload_nbytes(payload)
+        self.bytes_sent[src] += nbytes
+        self.messages_sent[src] += 1
+        self.pair_bytes[(src, dst)] += nbytes
+        if self.device_buffer_bytes is not None:
+            if self._buffer_in_use[src] + nbytes > self.device_buffer_bytes:
+                self.spilled_messages += 1
+                self.spilled_bytes += nbytes
+            else:
+                self._buffer_in_use[src] += nbytes
+        self._queues[(src, dst, tag)].append((src, nbytes, payload))
+
+    def recv(self, src: int, dst: int, tag: str = "") -> Any:
+        """Dequeue the oldest matching message (releases its buffer space)."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        queue = self._queues.get((src, dst, tag))
+        if not queue:
+            raise CommunicationError(
+                f"no message from {src} to {dst} with tag {tag!r}"
+            )
+        sender, nbytes, payload = queue.pop(0)
+        if self.device_buffer_bytes is not None:
+            self._buffer_in_use[sender] = max(
+                self._buffer_in_use[sender] - nbytes, 0
+            )
+        return payload
+
+    def pending(self) -> int:
+        """Number of undelivered messages (should be 0 between phases)."""
+        return sum(len(q) for q in self._queues.values())
+
+    def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
+        """Model an allreduce: account ~2 log2(P) message rounds per rank."""
+        self.collective_calls += 1
+        nbytes = payload_nbytes(values)
+        rounds = max(int(np.ceil(np.log2(max(self.n_ranks, 2)))), 1)
+        self.bytes_sent += nbytes * rounds
+        self.messages_sent += rounds
+        return values
+
+    def barrier(self) -> None:
+        self.barrier_calls += 1
+
+    # -- reporting ---------------------------------------------------------
+    def total_bytes(self) -> int:
+        return int(self.bytes_sent.sum())
+
+    def total_messages(self) -> int:
+        return int(self.messages_sent.sum())
+
+    def max_pair_bytes(self) -> int:
+        return max(self.pair_bytes.values(), default=0)
+
+    def reset_counters(self) -> None:
+        self.bytes_sent[:] = 0
+        self.messages_sent[:] = 0
+        self.pair_bytes.clear()
+        self.collective_calls = 0
+        self.barrier_calls = 0
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Size of a payload in bytes (arrays by buffer size, tuples summed)."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(v) for v in payload.values())
+    if isinstance(payload, (int, float, np.integer, np.floating)):
+        return 8
+    return len(bytes(str(payload), "utf8"))

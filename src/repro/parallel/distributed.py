@@ -1,0 +1,294 @@
+"""A domain-decomposed PIC simulation over simulated ranks.
+
+Runs the *same* PIC cycle as :class:`repro.core.simulation.Simulation`,
+but on a box decomposition: every box owns a guard-padded grid and the
+particles inside it; deposits are folded across box boundaries, fields are
+halo-exchanged after the Maxwell push, and particles are redistributed
+after the position push.  All communication is accounted through a
+:class:`SimComm` so a run yields both physics *and* the per-step message
+volumes the performance model consumes.
+
+An integration test verifies that a decomposed run reproduces the
+monolithic run to machine precision — the correctness contract of the
+whole substrate.
+
+Scope: periodic boundaries on every axis (the uniform-plasma setup of the
+paper's weak/strong scaling benchmarks).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import c
+from repro.core.costs import CostModel
+from repro.core.simulation import smooth_binomial
+from repro.diagnostics.timers import Timers
+from repro.exceptions import ConfigurationError
+from repro.grid.maxwell import MaxwellSolver, cfl_dt
+from repro.grid.yee import FIELD_COMPONENTS, YeeGrid
+from repro.parallel.box import Box, chop_domain
+from repro.parallel.comm import SimComm
+from repro.parallel.distribution import DistributionMapping
+from repro.parallel.halo import (
+    account_halo_traffic,
+    assemble_global,
+    fold_sources_global,
+    neighbor_overlaps,
+    scatter_local,
+)
+from repro.parallel.redistribute import (
+    build_box_lookup,
+    redistribute_particles,
+    wrap_positions_periodic,
+)
+from repro.particles.deposit import deposit_current_esirkepov
+from repro.particles.gather import gather_fields
+from repro.particles.injection import DensityProfile, inject_plasma
+from repro.particles.pusher import lorentz_factor, push_boris, push_positions
+from repro.particles.shapes import required_guards
+from repro.particles.species import Species
+
+
+class DistributedSpecies:
+    """One logical species scattered over the boxes."""
+
+    def __init__(self, prototype: Species, n_boxes: int) -> None:
+        self.prototype = prototype
+        self.per_box: List[Species] = [
+            Species(prototype.name, prototype.charge, prototype.mass, prototype.ndim)
+            for _ in range(n_boxes)
+        ]
+
+    def total_n(self) -> int:
+        return sum(sp.n for sp in self.per_box)
+
+    def kinetic_energy(self) -> float:
+        return sum(sp.kinetic_energy() for sp in self.per_box)
+
+    def gather_all(self) -> Species:
+        """All particles merged into one container (diagnostics only)."""
+        out = Species(
+            self.prototype.name,
+            self.prototype.charge,
+            self.prototype.mass,
+            self.prototype.ndim,
+        )
+        for sp in self.per_box:
+            out.extend(sp)
+        return out
+
+
+class DistributedSimulation:
+    """Periodic uniform-plasma PIC on an AMReX-style box decomposition."""
+
+    def __init__(
+        self,
+        n_cells: Sequence[int],
+        lo: Sequence[float],
+        hi: Sequence[float],
+        n_ranks: int,
+        max_grid_size: int = 32,
+        strategy: str = "sfc",
+        dt: Optional[float] = None,
+        cfl: float = 0.9,
+        shape_order: int = 2,
+        smoothing_passes: int = 0,
+        guards: int = 4,
+        dynamic_lb: bool = False,
+        lb_interval: int = 10,
+        lb_threshold: float = 1.1,
+    ) -> None:
+        self.domain = YeeGrid(n_cells, lo, hi, guards=guards)
+        self.dt = float(dt) if dt is not None else cfl_dt(self.domain.dx, cfl)
+        self.shape_order = int(shape_order)
+        if guards < required_guards(self.shape_order) + 1:
+            raise ConfigurationError("not enough guard cells for this shape order")
+        self.smoothing_passes = int(smoothing_passes)
+        self.boxes = chop_domain(n_cells, max_grid_size)
+        self.dm = DistributionMapping(self.boxes, n_ranks, strategy)
+        self.comm = SimComm(n_ranks)
+        self.timers = Timers()
+        self.box_grids: List[YeeGrid] = []
+        self.box_solvers: List[MaxwellSolver] = []
+        for b in self.boxes:
+            b_lo = tuple(lo[d] + b.lo[d] * self.domain.dx[d] for d in range(b.ndim))
+            b_hi = tuple(lo[d] + b.hi[d] * self.domain.dx[d] for d in range(b.ndim))
+            bg = YeeGrid(b.shape, b_lo, b_hi, guards=guards)
+            self.box_grids.append(bg)
+            self.box_solvers.append(MaxwellSolver(bg, self.dt))
+        self.box_lookup = build_box_lookup(self.boxes, n_cells)
+        self.overlaps = neighbor_overlaps(
+            self.boxes, n_cells, guards, periodic_axes=range(self.domain.ndim)
+        )
+        self.species: Dict[str, DistributedSpecies] = {}
+        self.dynamic_lb = bool(dynamic_lb)
+        self.lb_interval = int(lb_interval)
+        self.lb_threshold = float(lb_threshold)
+        self.cost_model = CostModel()
+        self.lb_events: List[int] = []
+        self.time = 0.0
+        self.step_count = 0
+
+    # -- setup -----------------------------------------------------------
+    def add_species(
+        self,
+        species: Species,
+        profile: Optional[DensityProfile] = None,
+        ppc=None,
+        momentum_init: Optional[Callable[[Species], None]] = None,
+        temperature_uth: float = 0.0,
+        rng_seed: int = 0,
+    ) -> DistributedSpecies:
+        """Register a species and fill every box from ``profile``.
+
+        ``momentum_init`` is called per box container after injection —
+        make it a pure function of position so the decomposed and
+        monolithic initializations agree.
+        """
+        dsp = DistributedSpecies(species, len(self.boxes))
+        for bg, sp in zip(self.box_grids, dsp.per_box):
+            if profile is not None and ppc is not None:
+                inject_plasma(
+                    sp,
+                    bg,
+                    profile,
+                    ppc,
+                    temperature_uth=temperature_uth,
+                    rng=np.random.default_rng(rng_seed),
+                )
+            if momentum_init is not None and sp.n:
+                momentum_init(sp)
+        self.species[species.name] = dsp
+        return dsp
+
+    # -- the decomposed PIC cycle ------------------------------------------
+    def step(self, n: int = 1) -> None:
+        for _ in range(n):
+            self._single_step()
+
+    def _single_step(self) -> None:
+        ndim = self.domain.ndim
+        periodic_axes = tuple(range(ndim))
+
+        with self.timers.timer("particles"):
+            for i, (box, bg) in enumerate(zip(self.boxes, self.box_grids)):
+                bg.zero_sources()
+                t0 = _time.perf_counter()
+                for dsp in self.species.values():
+                    sp = dsp.per_box[i]
+                    if sp.n == 0:
+                        continue
+                    e_f, b_f = gather_fields(bg, sp.positions, self.shape_order)
+                    sp.momenta = push_boris(
+                        sp.momenta, e_f, b_f, sp.charge, sp.mass, self.dt
+                    )
+                    x_old = sp.positions
+                    sp.positions = push_positions(x_old, sp.momenta, self.dt, ndim)
+                    vel = sp.momenta * (c / lorentz_factor(sp.momenta))[:, None]
+                    deposit_current_esirkepov(
+                        bg,
+                        x_old,
+                        sp.positions,
+                        vel,
+                        sp.weights,
+                        sp.charge,
+                        self.dt,
+                        self.shape_order,
+                    )
+                self.cost_model.record_measured(i, _time.perf_counter() - t0)
+
+        with self.timers.timer("fold_sources"):
+            fold_sources_global(
+                self.domain, self.box_grids, self.boxes, periodic_axes
+            )
+            if self.smoothing_passes > 0:
+                for comp in ("Jx", "Jy", "Jz"):
+                    for axis in range(ndim):
+                        smooth_binomial(
+                            self.domain.fields[comp], axis, self.smoothing_passes
+                        )
+            scatter_local(
+                self.domain, self.box_grids, self.boxes, ("Jx", "Jy", "Jz")
+            )
+            account_halo_traffic(
+                self.comm, self.overlaps, self.dm.assignment, n_components=3
+            )
+
+        with self.timers.timer("maxwell"):
+            for solver in self.box_solvers:
+                solver.step()
+
+        with self.timers.timer("halo_fields"):
+            assemble_global(
+                self.domain,
+                self.box_grids,
+                self.boxes,
+                FIELD_COMPONENTS,
+                periodic_axes,
+            )
+            scatter_local(
+                self.domain, self.box_grids, self.boxes, FIELD_COMPONENTS
+            )
+            account_halo_traffic(
+                self.comm, self.overlaps, self.dm.assignment, n_components=6
+            )
+
+        with self.timers.timer("redistribute"):
+            for dsp in self.species.values():
+                for sp in dsp.per_box:
+                    if sp.n:
+                        wrap_positions_periodic(
+                            sp.positions, self.domain.lo, self.domain.hi,
+                            periodic_axes,
+                        )
+                redistribute_particles(
+                    dsp.per_box,
+                    self.boxes,
+                    self.box_lookup,
+                    self.domain.lo,
+                    self.domain.dx,
+                    comm=self.comm,
+                    rank_of_box=self.dm.assignment,
+                )
+
+        if (
+            self.dynamic_lb
+            and self.step_count % self.lb_interval == self.lb_interval - 1
+        ):
+            with self.timers.timer("load_balance"):
+                costs = self.cost_model.measured(range(len(self.boxes)), default=0.0)
+                if self.dm.imbalance(costs) > self.lb_threshold:
+                    moved = self.dm.rebalance(costs, strategy="knapsack")
+                    self.lb_events.append(moved)
+
+        self.time += self.dt
+        self.step_count += 1
+
+    # -- diagnostics -------------------------------------------------------
+    def global_field_view(self, component: str) -> np.ndarray:
+        """The assembled global field (valid region)."""
+        assemble_global(
+            self.domain,
+            self.box_grids,
+            self.boxes,
+            (component,),
+            periodic_axes=tuple(range(self.domain.ndim)),
+        )
+        return self.domain.interior_view(component)
+
+    def total_particles(self) -> int:
+        return sum(d.total_n() for d in self.species.values())
+
+    def field_energy(self) -> float:
+        assemble_global(
+            self.domain,
+            self.box_grids,
+            self.boxes,
+            FIELD_COMPONENTS,
+            periodic_axes=tuple(range(self.domain.ndim)),
+        )
+        return self.domain.field_energy()

@@ -1,0 +1,58 @@
+"""Particle substrate: structure-of-arrays species containers, relativistic
+pushers, B-spline shape factors, field gather and charge-conserving current
+deposition kernels (vectorized and scalar-reference variants), particle
+sorting and plasma injection."""
+
+from repro.particles.species import Species
+from repro.particles.shapes import bspline, shape_weights, required_guards
+from repro.particles.pusher import push_boris, push_vay, push_positions, lorentz_factor
+from repro.particles.gather import gather_fields, gather_fields_reference
+from repro.particles.deposit import (
+    deposit_current_esirkepov,
+    deposit_current_direct,
+    deposit_charge,
+    deposit_current_reference,
+)
+from repro.particles.sorting import morton_bin_particles, sort_species_by_bin
+from repro.particles.splitting import split_particles, merge_particles
+from repro.particles.ionization import ADKIonization, adk_rate, barrier_suppression_field
+from repro.particles.injection import (
+    DensityProfile,
+    UniformProfile,
+    SlabProfile,
+    BoxProfile,
+    GasJetProfile,
+    HybridTargetProfile,
+    inject_plasma,
+)
+
+__all__ = [
+    "Species",
+    "bspline",
+    "shape_weights",
+    "required_guards",
+    "push_boris",
+    "push_vay",
+    "push_positions",
+    "lorentz_factor",
+    "gather_fields",
+    "gather_fields_reference",
+    "deposit_current_esirkepov",
+    "deposit_current_direct",
+    "deposit_charge",
+    "deposit_current_reference",
+    "morton_bin_particles",
+    "sort_species_by_bin",
+    "split_particles",
+    "ADKIonization",
+    "adk_rate",
+    "barrier_suppression_field",
+    "merge_particles",
+    "DensityProfile",
+    "UniformProfile",
+    "SlabProfile",
+    "BoxProfile",
+    "GasJetProfile",
+    "HybridTargetProfile",
+    "inject_plasma",
+]

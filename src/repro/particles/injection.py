@@ -1,0 +1,261 @@
+"""Plasma initialization: density profiles and macroparticle placement.
+
+Profiles describe the *physical* electron (or ion) number density as a
+function of position; :func:`inject_plasma` samples them with a fixed
+number of particles per cell (ppc), assigning each macroparticle the weight
+``n(x) V_cell / ppc`` so the deposited charge density reproduces the
+profile for any ppc.
+
+The profiles cover the paper's scenarios: uniform plasma (the scaling
+benchmarks), a gas jet with ramps (LWFA), a solid slab (plasma mirror) and
+the hybrid solid-gas target of the science case (Fig. 1b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import c
+from repro.exceptions import ConfigurationError
+from repro.particles.species import Species
+
+
+class DensityProfile:
+    """Base class: subclasses implement ``density(positions) -> n [1/m^3]``."""
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, positions: np.ndarray) -> np.ndarray:
+        return self.density(positions)
+
+    def __add__(self, other: "DensityProfile") -> "DensityProfile":
+        return _SumProfile(self, other)
+
+
+class _SumProfile(DensityProfile):
+    def __init__(self, a: DensityProfile, b: DensityProfile) -> None:
+        self.a = a
+        self.b = b
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        return self.a.density(positions) + self.b.density(positions)
+
+
+class UniformProfile(DensityProfile):
+    """Constant density ``n0`` everywhere."""
+
+    def __init__(self, n0: float) -> None:
+        self.n0 = float(n0)
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        return np.full(positions.shape[0], self.n0)
+
+
+class SlabProfile(DensityProfile):
+    """Density ``n0`` for ``lo <= x_axis < hi`` (the solid target),
+    optionally with a linear pre-plasma ramp of length ``ramp`` on the
+    upstream side."""
+
+    def __init__(self, n0: float, lo: float, hi: float, axis: int = 0, ramp: float = 0.0) -> None:
+        if hi <= lo:
+            raise ConfigurationError("slab needs hi > lo")
+        self.n0 = float(n0)
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.axis = int(axis)
+        self.ramp = float(ramp)
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        x = positions[:, self.axis]
+        n = np.where((x >= self.lo) & (x < self.hi), self.n0, 0.0)
+        if self.ramp > 0.0:
+            in_ramp = (x >= self.lo - self.ramp) & (x < self.lo)
+            n = np.where(in_ramp, self.n0 * (x - (self.lo - self.ramp)) / self.ramp, n)
+        return n
+
+
+class BoxProfile(DensityProfile):
+    """Density ``n0`` inside an axis-aligned box, zero outside.
+
+    Models a target of finite transverse size (e.g. the solid plasma
+    mirror, which must not extend into the refinement patch's absorbing
+    layers).
+    """
+
+    def __init__(self, n0: float, lo: Sequence[float], hi: Sequence[float]) -> None:
+        if len(lo) != len(hi) or any(h <= l for l, h in zip(lo, hi)):
+            raise ConfigurationError("box profile needs hi > lo per axis")
+        self.n0 = float(n0)
+        self.lo = tuple(float(v) for v in lo)
+        self.hi = tuple(float(v) for v in hi)
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        inside = np.ones(positions.shape[0], dtype=bool)
+        for d in range(min(positions.shape[1], len(self.lo))):
+            inside &= (positions[:, d] >= self.lo[d]) & (positions[:, d] < self.hi[d])
+        return np.where(inside, self.n0, 0.0)
+
+
+class GasJetProfile(DensityProfile):
+    """Longitudinal trapezoid (up-ramp, plateau, down-ramp) along ``axis``.
+
+    The standard model of a supersonic gas jet used in LWFA experiments.
+    """
+
+    def __init__(
+        self,
+        n0: float,
+        ramp_up: Tuple[float, float],
+        plateau_end: float,
+        ramp_down_end: float,
+        axis: int = 0,
+    ) -> None:
+        self.n0 = float(n0)
+        self.x0, self.x1 = float(ramp_up[0]), float(ramp_up[1])
+        self.x2 = float(plateau_end)
+        self.x3 = float(ramp_down_end)
+        if not (self.x0 < self.x1 <= self.x2 < self.x3):
+            raise ConfigurationError("gas jet breakpoints must be increasing")
+        self.axis = int(axis)
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        x = positions[:, self.axis]
+        up = (x - self.x0) / (self.x1 - self.x0)
+        down = (self.x3 - x) / (self.x3 - self.x2)
+        n = np.minimum(np.minimum(up, 1.0), down)
+        return self.n0 * np.clip(n, 0.0, 1.0)
+
+
+class HybridTargetProfile(DensityProfile):
+    """The paper's hybrid solid-gas target (Fig. 1b).
+
+    A dense solid slab (the plasma mirror, ``n_solid`` in units of the
+    physical density, typically tens of critical densities) with an
+    underdense gas region of density ``n_gas`` in front of it, through
+    which the laser first propagates and in which the reflected pulse
+    drives the wakefield accelerator.
+    """
+
+    def __init__(
+        self,
+        n_solid: float,
+        solid_lo: float,
+        solid_hi: float,
+        n_gas: float,
+        gas_lo: float,
+        gas_hi: float,
+        axis: int = 0,
+        gas_ramp: float = 0.0,
+    ) -> None:
+        self.solid = SlabProfile(n_solid, solid_lo, solid_hi, axis)
+        self.gas = SlabProfile(n_gas, gas_lo, gas_hi, axis, ramp=gas_ramp)
+
+    def density(self, positions: np.ndarray) -> np.ndarray:
+        return self.solid.density(positions) + self.gas.density(positions)
+
+
+def _ppc_offsets(ppc: Sequence[int], ndim: int) -> np.ndarray:
+    """Regular sub-cell offsets in [0,1)^ndim for a ppc tuple."""
+    axes = [
+        (np.arange(ppc[d]) + 0.5) / ppc[d] for d in range(ndim)
+    ]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+def inject_plasma(
+    species: Species,
+    grid,
+    profile: DensityProfile,
+    ppc,
+    lo: Optional[Sequence[float]] = None,
+    hi: Optional[Sequence[float]] = None,
+    temperature_uth: float = 0.0,
+    drift_u: Optional[Sequence[float]] = None,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 0.0,
+    density_cutoff: float = 0.0,
+) -> int:
+    """Fill ``[lo, hi)`` of ``grid`` with macroparticles sampling ``profile``.
+
+    Parameters
+    ----------
+    ppc:
+        Particles per cell: an int (same along every axis) or a per-axis
+        tuple like the paper's ``3 x 2 x 3``.
+    temperature_uth:
+        Thermal momentum spread (std of each u component, in gamma*beta).
+    drift_u:
+        Mean normalized momentum added to every particle.
+    jitter:
+        Amplitude (in cell units, 0..1) of random displacement added to
+        the regular sub-cell pattern.
+    density_cutoff:
+        Cells whose sampled density is <= this are skipped entirely.
+
+    Returns the number of macroparticles injected.
+    """
+    ndim = grid.ndim
+    if isinstance(ppc, int):
+        ppc = (ppc,) * ndim
+    if len(ppc) != ndim:
+        raise ConfigurationError(f"ppc must have {ndim} entries")
+    lo = tuple(grid.lo if lo is None else lo)
+    hi = tuple(grid.hi if hi is None else hi)
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    # cell index ranges covered by [lo, hi)
+    i_lo = [int(np.floor((lo[d] - grid.lo[d]) / grid.dx[d] + 1e-9)) for d in range(ndim)]
+    i_hi = [int(np.ceil((hi[d] - grid.lo[d]) / grid.dx[d] - 1e-9)) for d in range(ndim)]
+    i_lo = [max(0, v) for v in i_lo]
+    i_hi = [min(grid.n_cells[d], i_hi[d]) for d in range(ndim)]
+    if any(a >= b for a, b in zip(i_lo, i_hi)):
+        return 0
+
+    cell_axes = [np.arange(i_lo[d], i_hi[d]) for d in range(ndim)]
+    mesh = np.meshgrid(*cell_axes, indexing="ij")
+    cells = np.stack([m.ravel() for m in mesh], axis=1)  # (n_cells, ndim)
+
+    offsets = _ppc_offsets(ppc, ndim)  # (n_ppc, ndim)
+    n_ppc = offsets.shape[0]
+    dx = np.array(grid.dx)
+    origin = np.array(grid.lo)
+
+    # positions: cell corner + sub-cell offset (+ jitter), one row per particle
+    pos = (
+        origin[None, None, :]
+        + (cells[:, None, :] + offsets[None, :, :]) * dx[None, None, :]
+    )
+    if jitter > 0.0:
+        pos = pos + (rng.random(pos.shape) - 0.5) * jitter * dx[None, None, :] / np.array(ppc)
+    pos = pos.reshape(-1, ndim)
+
+    # clip to the requested sub-region (cells straddling the edge)
+    inside = np.ones(pos.shape[0], dtype=bool)
+    for d in range(ndim):
+        inside &= (pos[:, d] >= lo[d]) & (pos[:, d] < hi[d])
+    pos = pos[inside]
+    if pos.shape[0] == 0:
+        return 0
+
+    dens = profile.density(pos)
+    keep = dens > density_cutoff
+    pos = pos[keep]
+    dens = dens[keep]
+    if pos.shape[0] == 0:
+        return 0
+
+    cell_volume = float(np.prod(grid.dx))
+    weights = dens * cell_volume / n_ppc
+
+    momenta = np.zeros((pos.shape[0], 3))
+    if temperature_uth > 0.0:
+        momenta += rng.normal(0.0, temperature_uth, size=momenta.shape)
+    if drift_u is not None:
+        momenta += np.asarray(drift_u, dtype=np.float64)[None, :]
+
+    species.add_particles(pos, momenta, weights)
+    return pos.shape[0]

@@ -1,0 +1,190 @@
+"""Field (tunneling) ionization — the ADK model.
+
+The paper's targets ionize "quasi-instantly" in the ultra-intense field
+(Sec. III.B), and several of the injection techniques its introduction
+cites (refs. [11]-[13]) are *ionization injection*: inner-shell electrons
+released only near the pulse peak are born at the right wake phase to be
+trapped.  This module implements the standard Ammosov-Delone-Krainov
+tunneling rate and a charge-state ladder that plugs into the PIC cycle.
+
+Charge states are separate species (the WarpX "product species" pattern):
+state ``k`` carries charge ``+k e``; ionization moves macroparticles one
+rung up the ladder and adds their liberated electron to the electron
+species at the same position — total charge is conserved exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import eV, m_e, m_p, q_e
+from repro.exceptions import ConfigurationError
+from repro.particles.gather import gather_fields
+from repro.particles.species import Species
+
+#: atomic unit of electric field [V/m]
+E_ATOMIC = 5.14220674763e11
+#: atomic unit of time [s]
+T_ATOMIC = 2.4188843265857e-17
+#: hydrogen ionization energy [eV]
+U_HYDROGEN = 13.598434
+
+#: successive ionization energies [eV] of a few workhorse gases
+IONIZATION_ENERGIES: Dict[str, List[float]] = {
+    "H": [13.598434],
+    "He": [24.587389, 54.417765],
+    "N": [14.53413, 29.60125, 47.4453, 77.4735, 97.8901, 552.06733, 667.04610],
+}
+
+ATOMIC_MASSES: Dict[str, float] = {"H": 1.008, "He": 4.0026, "N": 14.007}
+
+
+def adk_rate(e_field: np.ndarray, u_ion_ev: float, z_after: int) -> np.ndarray:
+    """ADK tunneling ionization rate [1/s].
+
+    Parameters
+    ----------
+    e_field:
+        Field magnitude at the atom [V/m].
+    u_ion_ev:
+        Ionization energy of the level [eV].
+    z_after:
+        Charge state *after* the ionization (1 for neutral -> singly).
+    """
+    e_au = np.maximum(np.asarray(e_field, dtype=np.float64) / E_ATOMIC, 1e-30)
+    u_au = u_ion_ev * eV / (2.0 * 13.605693122994 * eV)  # in Hartree
+    n_star = z_after / math.sqrt(2.0 * u_au)
+    # |C_n*|^2 with the Stirling-free gamma form
+    c2 = 2.0 ** (2 * n_star) / (
+        n_star * math.gamma(n_star + 1.0) * math.gamma(n_star)
+    )
+    f = (2.0 * u_au) ** 1.5
+    rate_au = (
+        c2
+        * u_au
+        * (2.0 * f / e_au) ** (2.0 * n_star - 1.0)
+        * np.exp(-2.0 * f / (3.0 * e_au))
+    )
+    return rate_au / T_ATOMIC
+
+
+def barrier_suppression_field(u_ion_ev: float, z_after: int) -> float:
+    """The classical barrier-suppression field [V/m]: above it the level
+    ionizes essentially instantly."""
+    u_au = u_ion_ev * eV / (2.0 * 13.605693122994 * eV)
+    return u_au**2 / (4.0 * z_after) * E_ATOMIC
+
+
+class ADKIonization:
+    """A charge-state ladder with ADK transitions, for one element.
+
+    Parameters
+    ----------
+    element:
+        Key of :data:`IONIZATION_ENERGIES` (or pass ``energies_ev``).
+    electron_species:
+        The species that receives the liberated electrons.
+    ndim:
+        Position dimensionality (matching the simulation grid).
+    max_state:
+        Highest charge state to track (defaults to full stripping).
+    """
+
+    def __init__(
+        self,
+        element: str,
+        electron_species: Species,
+        ndim: int,
+        energies_ev: Optional[Sequence[float]] = None,
+        mass: Optional[float] = None,
+        max_state: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if energies_ev is None:
+            if element not in IONIZATION_ENERGIES:
+                raise ConfigurationError(
+                    f"unknown element {element!r}; give energies_ev"
+                )
+            energies_ev = IONIZATION_ENERGIES[element]
+        self.element = element
+        self.energies_ev = list(energies_ev)
+        z_max = len(self.energies_ev)
+        self.max_state = int(max_state) if max_state is not None else z_max
+        if not (1 <= self.max_state <= z_max):
+            raise ConfigurationError("max_state must be in [1, Z]")
+        if mass is None:
+            mass = ATOMIC_MASSES.get(element, 1.0) * m_p
+        self.electron_species = electron_species
+        self.rng = np.random.default_rng(seed)
+        #: one species per charge state, 0 (neutral) .. max_state
+        self.states: List[Species] = [
+            Species(f"{element}{k}+", charge=k * q_e, mass=mass, ndim=ndim)
+            for k in range(self.max_state + 1)
+        ]
+
+    def add_neutrals(self, positions: np.ndarray, weights: np.ndarray) -> None:
+        """Seed the ladder with neutral atoms."""
+        self.states[0].add_particles(positions, weights=weights)
+
+    def total_atoms(self) -> float:
+        return float(sum(s.weights.sum() for s in self.states))
+
+    def total_charge(self) -> float:
+        """Ion charge plus the electrons' (should be conserved) [C]."""
+        ions = sum(s.total_charge() for s in self.states)
+        return ions + self.electron_species.total_charge()
+
+    def mean_charge_state(self) -> float:
+        total = self.total_atoms()
+        if total == 0:
+            return 0.0
+        weighted = sum(k * s.weights.sum() for k, s in enumerate(self.states))
+        return float(weighted / total)
+
+    def apply(self, grid, dt: float, order: int = 2) -> int:
+        """One ionization step: promote atoms, release electrons.
+
+        Processes the ladder top-down so an atom advances at most one
+        state per step (the multi-step cascade across one dt is resolved
+        over subsequent steps, adequate for dt << pulse duration).
+        Returns the number of macro-ionization events.
+        """
+        n_events = 0
+        for k in range(self.max_state - 1, -1, -1):
+            sp = self.states[k]
+            if sp.n == 0:
+                continue
+            e_f, _ = gather_fields(grid, sp.positions, order)
+            e_mag = np.sqrt(np.einsum("ij,ij->i", e_f, e_f))
+            rate = adk_rate(e_mag, self.energies_ev[k], k + 1)
+            prob = 1.0 - np.exp(-rate * dt)
+            mask = self.rng.random(sp.n) < prob
+            if not np.any(mask):
+                continue
+            promoted = sp.remove(mask)
+            self.states[k + 1].extend(promoted)
+            self.electron_species.add_particles(
+                promoted.positions.copy(),
+                np.zeros((promoted.n, 3)),
+                promoted.weights.copy(),
+            )
+            n_events += promoted.n
+        return n_events
+
+    def attach(self, sim, order: Optional[int] = None) -> None:
+        """Register with a :class:`repro.core.simulation.Simulation`.
+
+        The charge states join the simulation as ordinary species (so they
+        push and deposit), and ionization runs as an end-of-step callback.
+        """
+        for sp in self.states:
+            sim.add_species(sp)
+        shape_order = order if order is not None else sim.shape_order
+
+        def callback(s):
+            self.apply(s.grid, s.dt, shape_order)
+
+        sim.callbacks.append(callback)

@@ -1,0 +1,170 @@
+"""Structure-of-arrays macroparticle container.
+
+Macroparticles are samples of the plasma distribution function: a position
+(``ndim`` coordinates), a normalized momentum ``u = gamma * beta`` (always
+three components — the 2D simulations of the paper are "2D3V"), a weight
+(number of physical particles represented), and a persistent id.
+
+The container is deliberately array-oriented: every kernel in
+:mod:`repro.particles` operates on whole arrays, which is the Python analog
+of the paper's vectorize-over-particles strategy (Sec. V.A.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import c, m_e, q_e
+from repro.exceptions import ConfigurationError
+
+
+class Species:
+    """A named particle species with SoA storage.
+
+    Parameters
+    ----------
+    name:
+        Label used by diagnostics.
+    charge, mass:
+        Physical charge [C] and mass [kg] of one *real* particle.
+    ndim:
+        Number of position coordinates (1, 2 or 3).
+    dtype:
+        Floating point type of the particle arrays.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        charge: float = -q_e,
+        mass: float = m_e,
+        ndim: int = 3,
+        dtype=np.float64,
+    ) -> None:
+        if ndim not in (1, 2, 3):
+            raise ConfigurationError(f"ndim must be 1, 2 or 3, got {ndim}")
+        if mass <= 0:
+            raise ConfigurationError("mass must be positive")
+        self.name = name
+        self.charge = float(charge)
+        self.mass = float(mass)
+        self.ndim = int(ndim)
+        self.dtype = np.dtype(dtype)
+        self.positions = np.empty((0, ndim), dtype=self.dtype)
+        self.momenta = np.empty((0, 3), dtype=self.dtype)  # u = gamma*beta
+        self.weights = np.empty((0,), dtype=self.dtype)
+        self.ids = np.empty((0,), dtype=np.int64)
+        self._next_id = 0
+
+    # -- basic container protocol ----------------------------------------
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Number of macroparticles currently stored."""
+        return len(self)
+
+    def add_particles(
+        self,
+        positions: np.ndarray,
+        momenta: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Append particles; returns the ids assigned to them."""
+        positions = np.atleast_2d(np.asarray(positions, dtype=self.dtype))
+        if positions.shape[1] != self.ndim:
+            raise ConfigurationError(
+                f"positions must have {self.ndim} columns, got {positions.shape[1]}"
+            )
+        n_new = positions.shape[0]
+        if momenta is None:
+            momenta = np.zeros((n_new, 3), dtype=self.dtype)
+        else:
+            momenta = np.atleast_2d(np.asarray(momenta, dtype=self.dtype))
+            if momenta.shape != (n_new, 3):
+                raise ConfigurationError("momenta must be (n, 3)")
+        if weights is None:
+            weights = np.ones(n_new, dtype=self.dtype)
+        else:
+            weights = np.asarray(weights, dtype=self.dtype).reshape(n_new)
+        new_ids = np.arange(self._next_id, self._next_id + n_new, dtype=np.int64)
+        self._next_id += n_new
+        self.positions = np.concatenate([self.positions, positions])
+        self.momenta = np.concatenate([self.momenta, momenta])
+        self.weights = np.concatenate([self.weights, weights])
+        self.ids = np.concatenate([self.ids, new_ids])
+        return new_ids
+
+    def remove(self, mask: np.ndarray) -> "Species":
+        """Remove particles where ``mask`` is True; returns them as a new
+        species object (used for migration between domain-decomposition
+        boxes and for diagnostics of escaped particles)."""
+        mask = np.asarray(mask, dtype=bool)
+        removed = self.select(mask)
+        keep = ~mask
+        self.positions = self.positions[keep]
+        self.momenta = self.momenta[keep]
+        self.weights = self.weights[keep]
+        self.ids = self.ids[keep]
+        return removed
+
+    def select(self, mask: np.ndarray) -> "Species":
+        """A new species holding copies of the particles where ``mask``."""
+        out = Species(self.name, self.charge, self.mass, self.ndim, self.dtype)
+        out.positions = self.positions[mask].copy()
+        out.momenta = self.momenta[mask].copy()
+        out.weights = self.weights[mask].copy()
+        out.ids = self.ids[mask].copy()
+        return out
+
+    def extend(self, other: "Species") -> None:
+        """Absorb the particles of ``other`` (ids are preserved)."""
+        if other.ndim != self.ndim:
+            raise ConfigurationError("cannot extend across dimensionalities")
+        self.positions = np.concatenate([self.positions, other.positions])
+        self.momenta = np.concatenate([self.momenta, other.momenta])
+        self.weights = np.concatenate([self.weights, other.weights])
+        self.ids = np.concatenate([self.ids, other.ids])
+
+    def reorder(self, permutation: np.ndarray) -> None:
+        """Apply an index permutation in place (used by particle sorting)."""
+        self.positions = self.positions[permutation]
+        self.momenta = self.momenta[permutation]
+        self.weights = self.weights[permutation]
+        self.ids = self.ids[permutation]
+
+    # -- derived quantities ------------------------------------------------
+    def gamma(self) -> np.ndarray:
+        """Relativistic Lorentz factor per particle."""
+        u2 = np.einsum("ij,ij->i", self.momenta, self.momenta)
+        return np.sqrt(1.0 + u2)
+
+    def velocities(self) -> np.ndarray:
+        """3-velocities [m/s], shape (n, 3)."""
+        return self.momenta * (c / self.gamma())[:, None]
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy of the represented physical particles [J]."""
+        return float(np.sum((self.gamma() - 1.0) * self.weights)) * self.mass * c**2
+
+    def kinetic_energies(self) -> np.ndarray:
+        """Per-macroparticle kinetic energy of one physical particle [J]."""
+        return (self.gamma() - 1.0) * self.mass * c**2
+
+    def total_charge(self) -> float:
+        """Total physical charge represented [C]."""
+        return self.charge * float(np.sum(self.weights))
+
+    def copy(self) -> "Species":
+        out = self.select(np.ones(self.n, dtype=bool))
+        out._next_id = self._next_id
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Species({self.name!r}, n={self.n}, q={self.charge:.3e}, "
+            f"m={self.mass:.3e}, ndim={self.ndim})"
+        )

@@ -1,0 +1,141 @@
+"""Adaptive particle splitting and merging.
+
+The paper's final section names "adaptive particle splitting and merging"
+as the companion of adaptive refinement patches: refining a patch without
+splitting leaves too few macroparticles per fine cell (noise), and
+particles leaving a refined region without merging carry needless cost.
+
+* :func:`split_particles` — replace selected macroparticles with
+  ``n_children`` lighter copies, jittered in position; conserves charge,
+  momentum and energy exactly.
+* :func:`merge_particles` — coalesce groups of same-cell, similar-momentum
+  macroparticles into one; conserves charge and momentum exactly (kinetic
+  energy decreases by the removed intra-group spread, which is reported).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.particles.sorting import morton_encode
+from repro.particles.species import Species
+
+
+def split_particles(
+    species: Species,
+    mask: np.ndarray,
+    n_children: int = 2,
+    position_spread: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Split the particles selected by ``mask`` into ``n_children`` each.
+
+    Children inherit the parent momentum and ``weight / n_children``; with
+    ``position_spread > 0`` they are jittered by a uniform offset of that
+    amplitude [m] per axis (pairs of children get opposite offsets, so the
+    charge centroid is exactly preserved).
+
+    Returns the number of particles added (children minus parents).
+    """
+    if n_children < 2:
+        raise ConfigurationError("n_children must be >= 2")
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (species.n,):
+        raise ConfigurationError("mask must have one entry per particle")
+    if not np.any(mask):
+        return 0
+    rng = rng if rng is not None else np.random.default_rng(0)
+    parents = species.remove(mask)
+    n_par = parents.n
+    pos = np.repeat(parents.positions, n_children, axis=0)
+    mom = np.repeat(parents.momenta, n_children, axis=0)
+    w = np.repeat(parents.weights / n_children, n_children)
+    if position_spread > 0.0:
+        half = rng.uniform(
+            -position_spread, position_spread, size=(n_par, n_children // 2, species.ndim)
+        )
+        offsets = np.concatenate([half, -half], axis=1)
+        if offsets.shape[1] < n_children:  # odd child count: one stays put
+            offsets = np.concatenate(
+                [offsets, np.zeros((n_par, 1, species.ndim))], axis=1
+            )
+        pos = pos + offsets.reshape(-1, species.ndim)
+    species.add_particles(pos, mom, w)
+    return n_par * (n_children - 1)
+
+
+def merge_particles(
+    species: Species,
+    grid,
+    tile_cells: int = 1,
+    momentum_bins: int = 2,
+    max_group: int = 8,
+    min_group: int = 2,
+) -> Tuple[int, float]:
+    """Merge same-cell, similar-momentum macroparticles.
+
+    Particles are binned by Morton tile and by the octant/quadrant of
+    their momentum split into ``momentum_bins`` per component; each bin's
+    groups of ``min_group``..``max_group`` particles collapse into one
+    macroparticle at the charge-weighted centroid with the summed weight
+    and the weighted mean momentum.
+
+    Returns ``(n_removed, energy_loss_fraction)`` — the kinetic energy
+    removed with the intra-group momentum spread, relative to the total.
+    """
+    if species.n < min_group:
+        return 0, 0.0
+    ke_before = species.kinetic_energy()
+    tiles = []
+    for d in range(grid.ndim):
+        cell = np.floor(
+            (species.positions[:, d] - grid.lo[d]) / grid.dx[d]
+        ).astype(np.int64)
+        np.clip(cell, 0, grid.n_cells[d] - 1, out=cell)
+        tiles.append(cell // tile_cells)
+    codes = morton_encode(tiles).astype(np.int64)
+    # momentum signature: coarse bin of each u component
+    u = species.momenta
+    u_scale = np.maximum(np.abs(u).max(axis=0), 1e-12)
+    sig = 0
+    for i in range(3):
+        comp_bin = np.clip(
+            ((u[:, i] / u_scale[i] + 1.0) * 0.5 * momentum_bins).astype(np.int64),
+            0,
+            momentum_bins - 1,
+        )
+        sig = sig * momentum_bins + comp_bin
+    key = codes * (momentum_bins**3) + sig
+
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
+    groups = np.split(order, boundaries)
+
+    remove_mask = np.zeros(species.n, dtype=bool)
+    new_pos, new_mom, new_w = [], [], []
+    n_removed = 0
+    for grp in groups:
+        if len(grp) < min_group:
+            continue
+        for start in range(0, len(grp) - len(grp) % min_group, max_group):
+            sub = grp[start : start + max_group]
+            if len(sub) < min_group:
+                continue
+            w = species.weights[sub]
+            w_sum = w.sum()
+            new_pos.append(np.average(species.positions[sub], axis=0, weights=w))
+            new_mom.append(np.average(species.momenta[sub], axis=0, weights=w))
+            new_w.append(w_sum)
+            remove_mask[sub] = True
+            n_removed += len(sub) - 1
+    if not new_pos:
+        return 0, 0.0
+    species.remove(remove_mask)
+    species.add_particles(np.array(new_pos), np.array(new_mom), np.array(new_w))
+    ke_after = species.kinetic_energy()
+    loss = (ke_before - ke_after) / ke_before if ke_before > 0 else 0.0
+    return n_removed, float(loss)

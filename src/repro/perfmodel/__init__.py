@@ -1,0 +1,41 @@
+"""Performance models of the paper's evaluation.
+
+The paper's numbers were measured on Frontier, Fugaku, Summit and
+Perlmutter.  This package substitutes a mechanistic model for the
+machines: a machine catalog (Table II), analytic per-kernel flop/byte
+counts audited against the real kernels, a roofline node model, an
+alpha-beta network model, and the figure-of-merit of Eq. (1).  Per-device
+sustained Flop/s are *calibrated* against the paper's Table III
+measurements (documented in :mod:`repro.perfmodel.machines`); everything
+built on top — mixed-precision predictions, full-machine rates, scaling
+curves, FOM values — is derived from the model and compared against the
+paper."""
+
+from repro.perfmodel.machines import Machine, MACHINES, get_machine
+from repro.perfmodel.kernels import KernelCounts, pic_step_counts
+from repro.perfmodel.roofline import node_time_per_step, device_flops
+from repro.perfmodel.network import NetworkModel, halo_surface_bytes
+from repro.perfmodel.scaling import weak_scaling, strong_scaling
+from repro.perfmodel.fom import figure_of_merit, FOM_HISTORY, model_fom
+from repro.perfmodel.flops import flops_table
+from repro.perfmodel.capabilities import CAPABILITY_TABLE, repro_feature_map
+
+__all__ = [
+    "Machine",
+    "MACHINES",
+    "get_machine",
+    "KernelCounts",
+    "pic_step_counts",
+    "node_time_per_step",
+    "device_flops",
+    "NetworkModel",
+    "halo_surface_bytes",
+    "weak_scaling",
+    "strong_scaling",
+    "figure_of_merit",
+    "FOM_HISTORY",
+    "model_fom",
+    "flops_table",
+    "CAPABILITY_TABLE",
+    "repro_feature_map",
+]

@@ -1,0 +1,72 @@
+"""Sustained Flop/s per device and machine (the paper's Table III)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.perfmodel.machines import MACHINES, Machine, get_machine
+from repro.perfmodel.roofline import device_flops
+from repro.perfmodel.scaling import weak_scaling
+
+
+def machine_scale_pflops(
+    machine: Machine, tflops_per_device: float, efficiency: float
+) -> float:
+    """Sustained PFlop/s of the largest weak-scaling run: per-device rate
+    times the devices actually used times the efficiency at that size
+    (the paper's "Achieved PFlop/s is the largest weak-scaling run")."""
+    devices_used = machine.max_nodes_used * machine.devices_per_node
+    return tflops_per_device * devices_used * efficiency / 1.0e3
+
+
+def flops_table(ppc: float = 2.0, order: int = 2) -> List[dict]:
+    """Model reproduction of Table III.
+
+    For every machine: DP and MP per-device TFlop/s (model), percent of
+    vendor peak, achieved full-machine PFlop/s (per-device rate x devices
+    x weak-scaling efficiency), and percent of the published HPCG result.
+    For Fugaku both the generic and the A64FX-optimized code paths are
+    reported, matching the paper's dagger rows.
+    """
+    rows = []
+    for key, machine in MACHINES.items():
+        # the paper reports DP and MP for every machine, plus the
+        # A64FX-optimized MP path (the dagger row) on Fugaku
+        variants = [("dp", False), ("mp", False)]
+        if machine.scalar_efficiency < 1.0:
+            variants.append(("mp", True))
+        eff_record = weak_scaling(
+            key, node_counts=[1, machine.max_nodes_used], ppc=ppc
+        )
+        efficiency = eff_record[-1]["efficiency"]
+        for mode, optimized in variants:
+            rates = device_flops(
+                machine, ppc=ppc, order=order, mode=mode, optimized=optimized
+            )
+            total_tf = rates["dp"] + rates["sp"]
+            peak = (
+                machine.peak_tflops_dp
+                if mode == "dp"
+                else machine.peak_tflops_sp
+            )
+            achieved_pf = machine_scale_pflops(machine, total_tf, efficiency)
+            pct_hpcg = (
+                100.0 * achieved_pf / machine.hpcg_pflops
+                if machine.hpcg_pflops
+                else None
+            )
+            label = mode
+            if machine.scalar_efficiency < 1.0:
+                label += " (A64FX-optimized)" if optimized else " (generic)"
+            rows.append(
+                {
+                    "machine": machine.name,
+                    "mode": label,
+                    "tflops_dp": rates["dp"],
+                    "tflops_sp": rates["sp"],
+                    "pct_peak": 100.0 * total_tf / peak,
+                    "achieved_pflops": achieved_pf,
+                    "pct_hpcg": pct_hpcg,
+                }
+            )
+    return rows

@@ -1,0 +1,96 @@
+"""The WarpX figure of merit, Eq. (1) of the paper, and its history.
+
+    FOM = (alpha N_c + beta N_p) / (avg time per step * percent of system)
+
+with alpha = 0.1, beta = 0.9.  :data:`FOM_HISTORY` records the paper's
+Table IV measurements verbatim; :func:`model_fom` recomputes the final
+per-machine entries from the performance model for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.perfmodel.machines import Machine, get_machine
+from repro.perfmodel.network import NetworkModel
+
+ALPHA = 0.1
+BETA = 0.9
+
+
+def figure_of_merit(
+    n_cells: float,
+    n_particles: float,
+    avg_time_per_step: float,
+    percent_of_system: float,
+    alpha: float = ALPHA,
+    beta: float = BETA,
+) -> float:
+    """Eq. (1): weighted problem size over time-per-step and system share."""
+    if avg_time_per_step <= 0 or not (0 < percent_of_system <= 1):
+        raise ConfigurationError(
+            "need positive time per step and 0 < system share <= 1"
+        )
+    return (alpha * n_cells + beta * n_particles) / (
+        avg_time_per_step * percent_of_system
+    )
+
+
+#: Table IV verbatim: (date, machine key, cells per node, nodes, mode, FOM)
+FOM_HISTORY: List[dict] = [
+    {"date": "3/19", "machine": "cori", "nc_per_node": 0.4e7, "nodes": 6625, "mode": "dp", "fom": 1.0e11},
+    {"date": "6/19", "machine": "summit", "nc_per_node": 2.8e7, "nodes": 1000, "mode": "dp", "fom": 7.8e11},
+    {"date": "9/19", "machine": "summit", "nc_per_node": 2.3e7, "nodes": 2560, "mode": "dp", "fom": 6.8e11},
+    {"date": "1/20", "machine": "summit", "nc_per_node": 2.3e7, "nodes": 2560, "mode": "dp", "fom": 1.0e12},
+    {"date": "2/20", "machine": "summit", "nc_per_node": 2.5e7, "nodes": 4263, "mode": "dp", "fom": 1.2e12},
+    {"date": "6/20", "machine": "summit", "nc_per_node": 2.0e7, "nodes": 4263, "mode": "dp", "fom": 1.4e12},
+    {"date": "7/20", "machine": "summit", "nc_per_node": 2.0e8, "nodes": 4263, "mode": "dp", "fom": 2.5e12},
+    {"date": "3/21", "machine": "summit", "nc_per_node": 2.0e8, "nodes": 4263, "mode": "dp", "fom": 2.9e12},
+    {"date": "6/21", "machine": "summit", "nc_per_node": 2.0e8, "nodes": 4263, "mode": "dp", "fom": 2.7e12},
+    {"date": "7/21", "machine": "perlmutter", "nc_per_node": 2.7e8, "nodes": 960, "mode": "dp", "fom": 1.1e12},
+    {"date": "12/21", "machine": "summit", "nc_per_node": 2.0e8, "nodes": 4263, "mode": "dp", "fom": 3.3e12},
+    {"date": "4/22", "machine": "perlmutter", "nc_per_node": 4.0e8, "nodes": 928, "mode": "dp", "fom": 1.0e12},
+    {"date": "4/22", "machine": "perlmutter", "nc_per_node": 4.0e8, "nodes": 928, "mode": "mp", "fom": 1.4e12},
+    {"date": "4/22", "machine": "summit", "nc_per_node": 2.0e8, "nodes": 4263, "mode": "dp", "fom": 3.4e12},
+    {"date": "4/22", "machine": "fugaku", "nc_per_node": 3.1e6, "nodes": 98304, "mode": "mp", "fom": 8.1e12},
+    {"date": "6/22", "machine": "perlmutter", "nc_per_node": 4.4e8, "nodes": 1088, "mode": "dp", "fom": 1.0e12},
+    {"date": "7/22", "machine": "fugaku", "nc_per_node": 3.1e6, "nodes": 98304, "mode": "dp", "fom": 2.2e12},
+    {"date": "7/22", "machine": "fugaku", "nc_per_node": 3.1e6, "nodes": 152064, "mode": "mp", "fom": 9.3e12},
+    {"date": "7/22", "machine": "frontier", "nc_per_node": 8.1e8, "nodes": 8576, "mode": "dp", "fom": 1.1e13},
+]
+
+
+def model_fom(
+    machine_name: str,
+    nc_per_node: float,
+    nodes: int,
+    ppc: float = 2.0,
+    mode: str = "dp",
+    extrapolate_full_machine: bool = True,
+    optimized: bool = True,
+) -> float:
+    """FOM predicted by the performance model for one Table IV entry.
+
+    Time per step comes from the roofline + network model; like the paper,
+    the FOM is extrapolated from the measured node count to the full
+    machine (the percent-of-system denominator does that by construction).
+    """
+    machine = get_machine(machine_name)
+    cells_per_device = nc_per_node / machine.devices_per_node
+    model = NetworkModel(machine, cells_per_device, ppc, mode, optimized=optimized)
+    t_step = model.step_time(nodes)
+    n_cells = nc_per_node * nodes
+    n_particles = ppc * n_cells
+    percent = nodes / machine.n_nodes if extrapolate_full_machine else 1.0
+    return figure_of_merit(n_cells, n_particles, t_step, percent)
+
+
+def final_history_entries() -> List[dict]:
+    """The most recent Table IV entry per machine (excluding retired Cori)."""
+    latest: Dict[str, dict] = {}
+    for entry in FOM_HISTORY:
+        if entry["machine"] == "cori":
+            continue
+        latest[(entry["machine"], entry["mode"])] = entry
+    return list(latest.values())

@@ -1,0 +1,113 @@
+"""Roofline node model: time per PIC step on one device / node.
+
+A kernel's execution time on a device is the larger of its compute time
+(flops over achieved peak) and its memory time (bytes over achieved
+bandwidth).  PIC is firmly on the bandwidth side for every machine in the
+paper (the measured 1-13 % of peak in Table III), so the achieved
+bandwidth fraction — calibrated per machine from Table III — is the
+dominant parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.perfmodel.kernels import KernelCounts, mixed_precision_counts, pic_step_counts
+from repro.perfmodel.machines import Machine
+
+
+def device_time_for_counts(
+    machine: Machine,
+    counts: KernelCounts,
+    n_units: float,
+    precision: str = "dp",
+    flop_fraction: float = 0.3,
+    optimized: bool = True,
+) -> float:
+    """Roofline time [s] for ``n_units`` repetitions of ``counts`` on one device.
+
+    ``flop_fraction`` is the achieved fraction of vendor peak for the
+    compute leg (generous — it never binds for these kernels).  The
+    calibration refers to the *generic* code path; ``optimized=True``
+    removes the scalar-efficiency penalty of CPU machines (the A64FX
+    SIMD tuning of Sec. V.A.1; a no-op on GPUs).
+    """
+    if precision not in ("dp", "sp"):
+        raise ConfigurationError("precision must be 'dp' or 'sp'")
+    bw_frac = machine.bw_fraction(_calibration_ai(machine))
+    if optimized:
+        bw_frac = min(bw_frac / machine.scalar_efficiency, 1.0)
+    peak = machine.peak_tflops_dp if precision == "dp" else machine.peak_tflops_sp
+    t_compute = counts.flops * n_units / (peak * 1e12 * flop_fraction)
+    t_memory = counts.bytes * n_units / (machine.mem_tb_per_s * 1e12 * bw_frac)
+    return max(t_compute, t_memory)
+
+
+def _calibration_ai(machine: Machine) -> float:
+    """The arithmetic intensity of the calibration workload.
+
+    Table III was measured on the uniform-plasma weak-scaling runs;
+    :data:`repro.perfmodel.kernels.CALIBRATION_WORKLOAD` fixes that
+    workload (3D, quadratic shapes, 2 ppc) for every calibrated quantity.
+    """
+    from repro.perfmodel.kernels import CALIBRATION_WORKLOAD
+
+    return pic_step_counts(**CALIBRATION_WORKLOAD).arithmetic_intensity
+
+
+def node_time_per_step(
+    machine: Machine,
+    cells_per_device: float,
+    ppc: float = 2.0,
+    order: int = 2,
+    ndim: int = 3,
+    mode: str = "dp",
+    smoothing_passes: int = 0,
+    optimized: bool = True,
+) -> float:
+    """Compute time [s] of one PIC step on one device (no communication)."""
+    if mode == "dp":
+        counts = pic_step_counts(order, ndim, ppc, smoothing_passes)
+        return device_time_for_counts(
+            machine, counts, cells_per_device, "dp", optimized=optimized
+        )
+    if mode == "mp":
+        parts = mixed_precision_counts(order, ndim, ppc, smoothing_passes)
+        t_sp = device_time_for_counts(
+            machine, parts["sp"], cells_per_device, "sp", optimized=optimized
+        )
+        t_dp = device_time_for_counts(
+            machine, parts["dp"], cells_per_device, "dp", optimized=optimized
+        )
+        return t_sp + t_dp
+    raise ConfigurationError("mode must be 'dp' or 'mp'")
+
+
+def device_flops(
+    machine: Machine,
+    ppc: float = 2.0,
+    order: int = 2,
+    ndim: int = 3,
+    mode: str = "dp",
+    optimized: bool = True,
+) -> dict:
+    """Sustained TFlop/s per device, split by precision (the Table III rows).
+
+    Derived quantities: flops of the workload divided by the modelled
+    step time.  In DP mode the result reproduces the calibration input by
+    construction; the MP split and the unoptimized-CPU variant are model
+    *predictions* compared against the paper.
+    """
+    cells = 1.0e6  # arbitrary; rates are intensive
+    t_step = node_time_per_step(
+        machine, cells, ppc, order, ndim, mode, optimized=optimized
+    )
+    if mode == "dp":
+        counts = pic_step_counts(order, ndim, ppc)
+        return {"dp": counts.flops * cells / t_step / 1e12, "sp": 0.0}
+    parts = mixed_precision_counts(order, ndim, ppc)
+    return {
+        "sp": parts["sp"].flops * cells / t_step / 1e12,
+        "dp": parts["dp"].flops * cells / t_step / 1e12,
+    }

@@ -1,0 +1,115 @@
+"""Weak- and strong-scaling curves (the paper's Fig. 5).
+
+Weak scaling: constant cells/particles per device, efficiency relative to
+the smallest run.  Strong scaling: a fixed global problem spread over more
+nodes, with the AMReX granularity floor (at least one block of cells per
+device) cutting the curve off — exactly the protocol of Sec. VI.A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.perfmodel.machines import Machine, get_machine
+from repro.perfmodel.network import NetworkModel
+from repro.perfmodel.roofline import node_time_per_step
+
+#: block (box) sizes used per machine in the paper's strong scaling runs
+STRONG_SCALING_BLOCKS: Dict[str, int] = {
+    "frontier": 256,
+    "fugaku": 80,  # 64^3 - 96^3 in the paper; use the midpoint
+    "summit": 128,
+    "perlmutter": 128,
+}
+
+
+def default_node_counts(machine: Machine, n_points: int = 12) -> List[int]:
+    """Log-spaced node counts from 1 to the machine's largest used size."""
+    counts = np.unique(
+        np.logspace(0, np.log10(machine.max_nodes_used), n_points).astype(int)
+    )
+    counts[-1] = machine.max_nodes_used  # guard against float round-down
+    return [int(c) for c in np.unique(counts)]
+
+
+def weak_scaling(
+    machine_name: str,
+    node_counts: Optional[Sequence[int]] = None,
+    cells_per_device: float = 1.0e7,
+    ppc: float = 2.0,
+    mode: str = "dp",
+) -> List[dict]:
+    """Weak-scaling efficiency over ``node_counts``.
+
+    Returns one record per node count: nodes, time per step [s], and
+    efficiency relative to the smallest run (the paper's normalization).
+    """
+    machine = get_machine(machine_name)
+    if node_counts is None:
+        node_counts = default_node_counts(machine)
+    model = NetworkModel(machine, cells_per_device, ppc, mode)
+    times = [model.step_time(n) for n in node_counts]
+    t0 = times[0]
+    return [
+        {"nodes": int(n), "time_per_step": t, "efficiency": t0 / t}
+        for n, t in zip(node_counts, times)
+    ]
+
+
+def strong_scaling(
+    machine_name: str,
+    total_cells: float,
+    node_counts: Optional[Sequence[int]] = None,
+    ppc: float = 2.0,
+    mode: str = "dp",
+    block_cells: Optional[int] = None,
+) -> List[dict]:
+    """Strong-scaling efficiency for a fixed ``total_cells`` problem.
+
+    Node counts beyond the granularity floor (fewer cells per device than
+    one block) are marked ``feasible=False`` — past that point there are
+    no blocks left to distribute, the effect the paper describes.
+    """
+    machine = get_machine(machine_name)
+    if total_cells <= 0:
+        raise ConfigurationError("total_cells must be positive")
+    if node_counts is None:
+        node_counts = default_node_counts(machine)
+    if block_cells is None:
+        block_cells = STRONG_SCALING_BLOCKS[machine_name.lower()] ** 3
+    records = []
+    base_time = None
+    base_nodes = None
+    for n in node_counts:
+        devices = n * machine.devices_per_node
+        cells_dev = total_cells / devices
+        feasible = cells_dev >= block_cells
+        model = NetworkModel(machine, cells_dev, ppc, mode)
+        t = model.step_time(n)
+        if base_time is None and feasible:
+            base_time = t
+            base_nodes = n
+        eff = (
+            (base_time * base_nodes) / (t * n)
+            if base_time is not None
+            else float("nan")
+        )
+        records.append(
+            {
+                "nodes": int(n),
+                "cells_per_device": cells_dev,
+                "time_per_step": t,
+                "efficiency": eff,
+                "feasible": feasible,
+            }
+        )
+    return records
+
+
+def efficiency_at(records: Sequence[dict], nodes: int) -> float:
+    """Efficiency of the record closest to ``nodes``."""
+    best = min(records, key=lambda r: abs(r["nodes"] - nodes))
+    return best["efficiency"]

@@ -1,0 +1,18 @@
+"""Preconfigured physics scenarios: the uniform-plasma benchmark workload,
+a laser-wakefield accelerator in a gas jet, and the paper's hybrid
+solid-gas target science case."""
+
+from repro.scenarios.uniform_plasma import build_uniform_plasma
+from repro.scenarios.lwfa import build_lwfa
+from repro.scenarios.hybrid_target import HybridTargetSetup, build_hybrid_target
+from repro.scenarios.pwfa import build_pwfa, wake_amplitude, cold_wavebreaking_field
+
+__all__ = [
+    "build_uniform_plasma",
+    "build_lwfa",
+    "HybridTargetSetup",
+    "build_hybrid_target",
+    "build_pwfa",
+    "wake_amplitude",
+    "cold_wavebreaking_field",
+]

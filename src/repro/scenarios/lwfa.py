@@ -1,0 +1,81 @@
+"""Laser wakefield accelerator in a gas jet.
+
+The workhorse scenario of compact electron accelerators (paper Sec. III):
+a short intense pulse drives a plasma wave in an underdense gas; a moving
+window follows the pulse over distances much longer than the box.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.constants import c, m_e, q_e, um, fs
+from repro.core.moving_window import MovingWindow
+from repro.core.simulation import Simulation
+from repro.grid.yee import YeeGrid
+from repro.laser.antenna import LaserAntenna
+from repro.laser.profiles import GaussianLaser
+from repro.particles.injection import GasJetProfile
+from repro.particles.species import Species
+
+
+def build_lwfa(
+    gas_density: float = 2.0e24,
+    a0: float = 2.5,
+    wavelength: float = 0.8 * um,
+    waist: float = 5.0 * um,
+    duration: float = 8.0 * fs,
+    domain_size: Tuple[float, float] = (50.0 * um, 40.0 * um),
+    cells_per_wavelength: float = 16.0,
+    transverse_coarsening: float = 4.0,
+    ppc=(1, 1),
+    shape_order: int = 2,
+    window_start: Optional[float] = None,
+) -> Tuple[Simulation, Species, GaussianLaser]:
+    """A 2D LWFA: gas jet + laser antenna + moving window.
+
+    The longitudinal resolution resolves the laser wavelength
+    (``cells_per_wavelength``); the transverse direction is coarser by
+    ``transverse_coarsening`` (standard LWFA practice).  Returns the
+    simulation, the gas-electron species and the laser.
+    """
+    lx, ly = domain_size
+    dx = wavelength / cells_per_wavelength
+    nx = int(round(lx / dx))
+    ny = max(int(round(ly / (dx * transverse_coarsening))), 16)
+    grid = YeeGrid((nx, ny), (0.0, -ly / 2), (lx, ly / 2), guards=4)
+    sim = Simulation(
+        grid,
+        shape_order=shape_order,
+        boundaries=("damped", "damped"),
+        n_absorber=max(grid.n_cells[1] // 16, 8),
+        smoothing_passes=1,
+    )
+    laser = GaussianLaser(
+        wavelength=wavelength,
+        a0=a0,
+        waist=waist,
+        duration=duration,
+        polarization="z",  # out of plane: keeps the wake fields in-plane clean
+        t_peak=2.5 * duration,
+    )
+    sim.add_laser(LaserAntenna(laser, position=2.0 * dx + 0.0, center=0.0))
+    electrons = Species("gas_electrons", charge=-q_e, mass=m_e, ndim=2)
+    jet = GasJetProfile(
+        gas_density,
+        ramp_up=(8.0 * um, 14.0 * um),
+        plateau_end=0.9 * lx,
+        ramp_down_end=1.1 * lx,
+    )
+    sim.add_species(
+        electrons,
+        profile=jet,
+        ppc=ppc,
+        continuous_injection=True,
+    )
+    if window_start is None:
+        window_start = laser.t_peak + 0.6 * lx / c
+    sim.set_moving_window(MovingWindow(speed=c, start_time=window_start))
+    return sim, electrons, laser

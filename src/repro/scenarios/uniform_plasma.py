@@ -1,0 +1,56 @@
+"""The uniform-plasma benchmark workload.
+
+This is the paper's scaling/benchmark setup: a thermally quiet uniform
+plasma, periodic boundaries, fixed particles per cell.  It doubles as the
+single-node workload of the kernel-optimization benchmark (Sec. V.A.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import m_e, plasma_wavelength, q_e
+from repro.core.simulation import Simulation
+from repro.grid.yee import YeeGrid
+from repro.particles.injection import UniformProfile
+from repro.particles.species import Species
+
+
+def build_uniform_plasma(
+    n_cells: Sequence[int],
+    density: float = 1.0e24,
+    ppc=2,
+    shape_order: int = 2,
+    temperature_uth: float = 0.01,
+    domain_plasma_wavelengths: float = 1.0,
+    smoothing_passes: int = 0,
+    sort_interval: int = 0,
+    seed: int = 0,
+) -> Tuple[Simulation, Species]:
+    """A periodic uniform electron plasma sized in plasma wavelengths.
+
+    Returns the configured simulation and its electron species.
+    """
+    ndim = len(n_cells)
+    length = plasma_wavelength(density) * domain_plasma_wavelengths
+    grid = YeeGrid(
+        n_cells, (0.0,) * ndim, (length,) * ndim, guards=4
+    )
+    sim = Simulation(
+        grid,
+        shape_order=shape_order,
+        boundaries="periodic",
+        smoothing_passes=smoothing_passes,
+        sort_interval=sort_interval,
+    )
+    electrons = Species("electrons", charge=-q_e, mass=m_e, ndim=ndim)
+    sim.add_species(
+        electrons,
+        profile=UniformProfile(density),
+        ppc=ppc,
+        temperature_uth=temperature_uth,
+        rng=np.random.default_rng(seed),
+    )
+    return sim, electrons

@@ -1,0 +1,49 @@
+"""Tests for physical constants and laser/plasma conversions."""
+
+import numpy as np
+import pytest
+
+from repro import constants as k
+
+
+def test_fundamental_relations():
+    # c^2 = 1/(eps0 mu0)
+    assert k.c**2 == pytest.approx(1.0 / (k.eps0 * k.mu0), rel=1e-9)
+    assert k.eV == k.q_e
+    assert k.GeV == 1e3 * k.MeV
+
+
+def test_critical_density_800nm():
+    # the standard value: n_c(0.8 um) = 1.74e27 m^-3
+    nc = k.critical_density(0.8e-6)
+    assert nc == pytest.approx(1.742e27, rel=0.01)
+    # the paper's solid target: 50 n_c
+    assert 50 * nc == pytest.approx(8.7e28, rel=0.02)
+
+
+def test_plasma_frequency_and_wavelength():
+    n0 = 1.0e24
+    w = k.plasma_frequency(n0)
+    assert w == pytest.approx(5.64e13, rel=0.01)
+    lam = k.plasma_wavelength(n0)
+    assert lam == pytest.approx(2 * np.pi * k.c / w)
+
+
+def test_critical_density_inverts_plasma_frequency():
+    """n_c is defined by omega_pe(n_c) = omega_laser."""
+    lam = 0.8e-6
+    nc = k.critical_density(lam)
+    omega_laser = 2 * np.pi * k.c / lam
+    assert k.plasma_frequency(nc) == pytest.approx(omega_laser, rel=1e-9)
+
+
+def test_a0_field_roundtrip():
+    lam = 0.8e-6
+    e = k.a0_to_field(2.5, lam)
+    assert k.field_to_a0(e, lam) == pytest.approx(2.5, rel=1e-12)
+
+
+def test_a0_intensity_standard_value():
+    # I(a0=1, 0.8um) ~ 2.14e18 W/cm^2 = 2.14e22 W/m^2
+    i = k.a0_to_intensity(1.0, 0.8e-6)
+    assert i == pytest.approx(2.14e22, rel=0.02)

@@ -1,0 +1,61 @@
+"""Smoke tests: the runnable examples execute end-to-end.
+
+The heavy examples (LWFA, hybrid target, ionization) are exercised by the
+scenario tests and benches at reduced size; here the fast examples run
+as-is so a broken public API surfaces immediately.
+"""
+
+import contextlib
+import io
+import runpy
+import sys
+
+import pytest
+
+FAST_EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/mesh_refinement_demo.py",
+    "examples/scaling_study.py",
+    "examples/boosted_frame_study.py",
+    "examples/distributed_demo.py",
+]
+
+
+@pytest.mark.parametrize("path", FAST_EXAMPLES)
+def test_example_runs(path):
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        runpy.run_path(path, run_name="__main__")
+    out = buf.getvalue()
+    assert len(out) > 100  # it narrated something
+
+
+def test_quickstart_measures_plasma_frequency():
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = buf.getvalue()
+    assert "relative error" in out
+    # parse the printed relative error and hold it to the physics bound
+    line = next(l for l in out.splitlines() if "relative error" in l)
+    err = float(line.split(":")[1].strip().rstrip("%")) / 100.0
+    assert err < 0.1
+
+
+def test_mr_demo_reports_clean_escape():
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        runpy.run_path("examples/mesh_refinement_demo.py", run_name="__main__")
+    out = buf.getvalue()
+    assert "residual fine energy" in out
+    assert "no spurious reflection" in out
+
+
+def test_distributed_demo_reports_machine_precision():
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        runpy.run_path("examples/distributed_demo.py", run_name="__main__")
+    out = buf.getvalue()
+    line = next(l for l in out.splitlines() if "Ex_dist - Ex_mono" in l)
+    err = float(line.split(":")[1].split()[0])
+    assert err < 1e-9

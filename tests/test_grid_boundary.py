@@ -1,0 +1,100 @@
+"""Tests for periodic / conductor / damping boundary handling."""
+
+import numpy as np
+import pytest
+
+from repro.constants import c
+from repro.grid.boundary import (
+    accumulate_periodic_sources,
+    apply_conductor,
+    apply_damping,
+    apply_periodic,
+    damping_profile,
+)
+from repro.grid.maxwell import MaxwellSolver, cfl_dt
+from repro.grid.yee import YeeGrid
+
+
+def test_periodic_guard_fill_nodal():
+    g = YeeGrid((8,), (0.0,), (8.0,), guards=2)
+    g.Ey[...] = 0.0
+    g.interior_view("Ey")[...] = np.arange(9.0)
+    # node 8 is the same physical point as node 0
+    apply_periodic(g, 0)
+    arr = g.Ey
+    assert arr[g.guards + 8] == arr[g.guards]
+    np.testing.assert_allclose(arr[:2], arr[8:10])
+    np.testing.assert_allclose(arr[11:], arr[3:5])
+
+
+def test_periodic_guard_fill_staggered():
+    g = YeeGrid((8,), (0.0,), (8.0,), guards=2)
+    g.interior_view("Ex")[...] = np.arange(8.0)
+    apply_periodic(g, 0)
+    arr = g.Ex
+    np.testing.assert_allclose(arr[:2], arr[8:10])
+    np.testing.assert_allclose(arr[10:], arr[2:5])
+
+
+def test_accumulate_periodic_sources_conserves_total():
+    g = YeeGrid((8,), (0.0,), (8.0,), guards=2)
+    rng = np.random.default_rng(0)
+    g.fields["rho"][...] = rng.normal(size=g.shape)
+    # every array entry (guards and the duplicated nodal plane included)
+    # is a deposit belonging to some physical node
+    total_before = g.fields["rho"].sum()
+    accumulate_periodic_sources(g, 0)
+    rho = g.fields["rho"]
+    assert np.all(rho[:2] == 0.0)
+    valid = rho[g.guards : g.guards + 9]
+    # first and last valid nodes are the same physical point
+    assert valid[0] == pytest.approx(valid[-1])
+    assert valid[:-1].sum() == pytest.approx(total_before)
+
+
+def test_conductor_reflects_pulse():
+    """A pulse reflects from a PEC wall and comes back inverted."""
+    n = 256
+    g = YeeGrid((n,), (0.0,), (1.0,), guards=3)
+    x = g.axis_coords(0, "Ey")
+    x_b = g.axis_coords(0, "Bz")
+    pulse = lambda s: np.exp(-((s - 0.7) ** 2) / (2 * 0.02**2))
+    g.interior_view("Ey")[...] = pulse(x)
+    g.interior_view("Bz")[...] = pulse(x_b) / c  # right-going
+    dt = cfl_dt(g.dx, 0.9)
+    solver = MaxwellSolver(g, dt)
+    steps = int(0.55 / (c * dt))  # hits the x=1 wall and returns
+    for _ in range(steps):
+        apply_conductor(g, 0)
+        solver.step()
+    ey = g.interior_view("Ey")
+    peak = np.argmax(np.abs(ey))
+    assert ey[peak] < 0  # inverted on reflection from PEC
+    assert abs(np.abs(ey).max() - 1.0) < 0.1  # amplitude preserved
+
+
+def test_damping_profile_monotone():
+    f = damping_profile(8, strength=0.05)
+    assert np.all(np.diff(f) > 0)
+    assert f[-1] < 1.0
+    assert f[0] == pytest.approx(0.95)
+
+
+def test_damping_layer_absorbs_energy():
+    n = 128
+    g = YeeGrid((n,), (0.0,), (1.0,), guards=3)
+    x = g.axis_coords(0, "Ey")
+    x_b = g.axis_coords(0, "Bz")
+    pulse = lambda s: np.exp(-((s - 0.5) ** 2) / (2 * 0.03**2))
+    g.interior_view("Ey")[...] = pulse(x)
+    g.interior_view("Bz")[...] = pulse(x_b) / c
+    dt = cfl_dt(g.dx, 0.9)
+    solver = MaxwellSolver(g, dt)
+    e0 = g.field_energy()
+    steps = int(2.5 / (c * dt))
+    for _ in range(steps):
+        apply_damping(g, 0, n_layer=32, strength=0.03)
+        solver.step()
+    # graded damping is the cheap absorber: much weaker than the PML but
+    # still removes the bulk of the outgoing energy
+    assert g.field_energy() < 0.1 * e0

@@ -1,0 +1,105 @@
+"""Tests and property tests for the coarse<->fine transfer operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.interpolation import (
+    prolong,
+    region_sample_counts,
+    restrict,
+)
+
+
+def test_region_sample_counts():
+    assert region_sample_counts((8, 4), (0, 0)) == (9, 5)
+    assert region_sample_counts((8, 4), (1, 0)) == (8, 5)
+
+
+def test_prolong_constant_is_exact():
+    arr = np.full((5, 5), 7.0)
+    out = prolong(arr, 2, (0, 0), (9, 9))
+    np.testing.assert_allclose(out, 7.0)
+
+
+def test_prolong_linear_is_exact_nodal():
+    x = np.arange(9.0)
+    arr = 2.0 * x + 1.0
+    out = prolong(arr, 2, (0,), (17,))
+    fine_x = np.arange(17.0) / 2.0
+    np.testing.assert_allclose(out, 2.0 * fine_x + 1.0, rtol=1e-12)
+
+
+def test_prolong_linear_is_exact_staggered_interior():
+    # staggered samples at (j + 0.5); fine at (k + 0.5)/2
+    x = np.arange(8.0) + 0.5
+    arr = 3.0 * x
+    out = prolong(arr, 2, (1,), (16,))
+    fine_x = (np.arange(16.0) + 0.5) / 2.0
+    # edges extrapolate; interior must be exact
+    np.testing.assert_allclose(out[1:-1], 3.0 * fine_x[1:-1], rtol=1e-12)
+
+
+def test_prolong_matches_coarse_at_coincident_nodes():
+    rng = np.random.default_rng(1)
+    arr = rng.normal(size=(6, 6))
+    out = prolong(arr, 2, (0, 0), (11, 11))
+    np.testing.assert_allclose(out[::2, ::2], arr, rtol=1e-12)
+
+
+def test_restrict_constant_is_exact():
+    arr = np.full((17, 16), 4.0)
+    out = restrict(arr, 2, (0, 1), (9, 8))
+    np.testing.assert_allclose(out, 4.0)
+
+
+def test_restrict_linear_nodal_interior_exact():
+    x = np.arange(17.0) / 2.0
+    arr = 5.0 * x
+    out = restrict(arr, 2, (0,), (9,))
+    np.testing.assert_allclose(out[1:-1], 5.0 * np.arange(1.0, 8.0), rtol=1e-12)
+
+
+def test_restrict_staggered_box_average():
+    arr = np.arange(8.0)
+    out = restrict(arr, 2, (1,), (4,))
+    np.testing.assert_allclose(out, [0.5, 2.5, 4.5, 6.5])
+
+
+def test_restrict_then_prolong_smooth_roundtrip():
+    x = np.linspace(0, 2 * np.pi, 33)
+    fine = np.sin(x)
+    coarse = restrict(fine, 2, (0,), (17,))
+    back = prolong(coarse, 2, (0,), (33,))
+    assert np.max(np.abs(back[2:-2] - fine[2:-2])) < 0.05
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ratio=st.sampled_from([2, 4]),
+    stagger=st.sampled_from([0, 1]),
+    scale=st.floats(-5, 5, allow_nan=False),
+    offset=st.floats(-3, 3, allow_nan=False),
+)
+def test_prolong_preserves_affine_functions(ratio, stagger, scale, offset):
+    """Linear interpolation reproduces any affine field exactly (interior)."""
+    n_c = 12
+    xc = np.arange(n_c, dtype=float) + 0.5 * stagger
+    arr = scale * xc + offset
+    n_f = (n_c - 1) * ratio if stagger == 0 else n_c * ratio
+    out = prolong(arr, ratio, (stagger,), (n_f,))
+    xf = (np.arange(n_f) + 0.5 * stagger) / ratio
+    expected = scale * xf + offset
+    np.testing.assert_allclose(out[ratio:-ratio], expected[ratio:-ratio], atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stagger=st.sampled_from([0, 1]),
+    const=st.floats(-10, 10, allow_nan=False),
+)
+def test_restrict_preserves_constants(stagger, const):
+    arr = np.full(24, const)
+    out = restrict(arr, 2, (stagger,), (12 - stagger,))
+    np.testing.assert_allclose(out, const, atol=1e-12)

@@ -1,0 +1,122 @@
+"""Tests for the spectral Poisson solver and the Gauss-law monitor."""
+
+import numpy as np
+import pytest
+
+from repro.constants import eps0, m_e, plasma_wavelength, q_e
+from repro.core.simulation import Simulation
+from repro.diagnostics.gauss import GaussLawMonitor, gauss_law_residual
+from repro.grid.poisson import initialize_space_charge, solve_poisson
+from repro.grid.stencils import diff_backward
+from repro.grid.yee import YeeGrid
+from repro.particles.injection import UniformProfile
+from repro.particles.species import Species
+
+
+def discrete_div_e(grid):
+    div = np.zeros(grid.shape)
+    for d, comp in enumerate(("Ex", "Ey", "Ez")[: grid.ndim]):
+        div += diff_backward(grid.fields[comp], d, grid.dx[d])
+    return div
+
+
+@pytest.mark.parametrize("ndim", [1, 2, 3])
+def test_poisson_satisfies_discrete_gauss_law(ndim):
+    """div E (backward difference) == rho/eps0 up to the removed mean."""
+    n = {1: 64, 2: 32, 3: 12}[ndim]
+    g = YeeGrid((n,) * ndim, (0.0,) * ndim, (1.0,) * ndim, guards=3)
+    rng = np.random.default_rng(6)
+    sl = tuple(slice(g.guards, g.guards + n) for _ in range(ndim))
+    rho = rng.normal(size=(n,) * ndim)
+    rho -= rho.mean()  # neutral universe
+    g.fields["rho"][sl] = rho
+    solve_poisson(g)
+    from repro.grid.boundary import apply_periodic
+
+    for ax in range(ndim):
+        apply_periodic(g, ax)
+    div = discrete_div_e(g)[sl]
+    np.testing.assert_allclose(div, rho / eps0, rtol=1e-9, atol=1e-9 * np.abs(rho / eps0).max())
+
+
+def test_poisson_sine_charge_analytic():
+    """A sinusoidal rho gives the textbook E field (continuum limit)."""
+    n = 256
+    length = 1.0
+    g = YeeGrid((n,), (0.0,), (length,), guards=3)
+    k = 2 * np.pi / length
+    x = g.axis_coords(0, "rho")[:-1]
+    sl = (slice(g.guards, g.guards + n),)
+    rho0 = 1e-6
+    g.fields["rho"][sl] = rho0 * np.sin(k * x)
+    solve_poisson(g)
+    x_e = g.axis_coords(0, "Ex")
+    expected = -rho0 / (eps0 * k) * np.cos(k * x_e)
+    measured = g.interior_view("Ex")
+    # second-order discrete gradient: ~ (k dx)^2 / 24 relative error
+    np.testing.assert_allclose(measured, expected, rtol=2e-3, atol=1e-9 * abs(expected).max())
+
+
+def test_initialize_space_charge_slab():
+    """A charged slab gets the field of Gauss's law over a neutralizing
+    background: the residual is exactly the (uniform) removed k=0 mode."""
+    n0 = 1e20
+    g = YeeGrid((64,), (0.0,), (64.0,), guards=3)
+    s = Species("e", charge=-q_e, ndim=1)
+    from repro.particles.injection import SlabProfile, inject_plasma
+
+    inject_plasma(s, g, SlabProfile(n0, 24.0, 40.0, axis=0), ppc=4)
+    initialize_space_charge(g, [s])
+    res = gauss_law_residual(g, [s], order=2)
+    sl = (slice(g.guards, g.guards + 64),)
+    background = g.fields["rho"][sl].mean() / eps0
+    np.testing.assert_allclose(res, -background, rtol=1e-9)
+    assert np.abs(g.interior_view("Ex")).max() > 0
+
+
+def test_gauss_residual_constant_during_run():
+    """THE end-to-end charge-conservation check: the Gauss residual of a
+    running simulation does not drift (Esirkepov + Yee compose exactly)."""
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    g = YeeGrid((48,), (0.0,), (length,), guards=4)
+    sim = Simulation(g, shape_order=2, smoothing_passes=0)
+    e = Species("e", charge=-q_e, mass=m_e, ndim=1)
+    sim.add_species(e, profile=UniformProfile(n0), ppc=8)
+    k = 2 * np.pi / length
+    e.momenta[:, 0] = 1e-3 * np.sin(k * e.positions[:, 0])
+    monitor = GaussLawMonitor(order=2)
+    r0 = monitor.record(sim)
+    sim.step(100)
+    r1 = monitor.record(sim)
+    # the initial (non-neutral deposit vs E=0) residual is frozen in time
+    assert r1 == pytest.approx(r0, rel=1e-6)
+    assert monitor.drift() == pytest.approx(0.0, abs=1e-6)
+
+
+def test_gauss_residual_drifts_with_direct_deposition():
+    """With the non-conserving direct deposition the residual *field*
+    moves — the contrast that motivates Esirkepov.  (The max-norm alone
+    hides the drift under the static ppc-noise pedestal, so compare the
+    residual patterns directly.)"""
+
+    def run(deposition):
+        n0 = 1e24
+        length = plasma_wavelength(n0)
+        g = YeeGrid((48,), (0.0,), (length,), guards=4)
+        sim = Simulation(
+            g, shape_order=2, smoothing_passes=0, deposition=deposition
+        )
+        e = Species("e", charge=-q_e, mass=m_e, ndim=1)
+        sim.add_species(e, profile=UniformProfile(n0), ppc=8)
+        k = 2 * np.pi / length
+        e.momenta[:, 0] = 1e-2 * np.sin(k * e.positions[:, 0])
+        res0 = gauss_law_residual(sim.grid, [e], order=2).copy()
+        sim.step(100)
+        res1 = gauss_law_residual(sim.grid, [e], order=2)
+        return float(np.max(np.abs(res1 - res0))), float(np.max(np.abs(res0)))
+
+    drift_esir, scale = run("esirkepov")
+    drift_direct, _ = run("direct")
+    assert drift_esir < 1e-8 * scale
+    assert drift_direct > 1e3 * max(drift_esir, 1e-30 * scale)

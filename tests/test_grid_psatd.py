@@ -1,0 +1,144 @@
+"""Tests for the PSATD spectral Maxwell solver."""
+
+import numpy as np
+import pytest
+
+from repro.constants import c, eps0
+from repro.exceptions import ConfigurationError
+from repro.grid.boundary import apply_periodic
+from repro.grid.maxwell import MaxwellSolver, cfl_dt
+from repro.grid.psatd import PSATDMaxwellSolver
+from repro.grid.yee import YeeGrid
+
+
+def plane_wave_grid(n=32, wavelengths=4):
+    length = 1.0
+    g = YeeGrid((n,), (0.0,), (length,), guards=2)
+    k = 2 * np.pi * wavelengths / length
+    x_e = g.axis_coords(0, "Ey")
+    x_b = g.axis_coords(0, "Bz")
+    g.interior_view("Ey")[...] = np.sin(k * x_e)
+    g.interior_view("Bz")[...] = np.sin(k * x_b) / c
+    apply_periodic(g, 0)
+    return g, k
+
+
+def test_vacuum_plane_wave_exact_dispersion():
+    """PSATD advects a periodic plane wave at exactly c — even at only 8
+    points per wavelength and a time step far beyond the FDTD CFL."""
+    g, k = plane_wave_grid(n=32, wavelengths=4)
+    dt = 3.0 * cfl_dt(g.dx)  # super-CFL: illegal for FDTD
+    solver = PSATDMaxwellSolver(g, dt)
+    steps = 40
+    for _ in range(steps):
+        solver.step()
+    shift = c * steps * dt
+    x_e = g.axis_coords(0, "Ey")
+    expected = np.sin(k * (x_e - shift))
+    np.testing.assert_allclose(g.interior_view("Ey"), expected, atol=1e-10)
+
+
+def test_psatd_beats_fdtd_dispersion():
+    """At coarse resolution the FDTD wave lags; the PSATD wave does not."""
+
+    def run(solver_cls, **kw):
+        g, k = plane_wave_grid(n=24, wavelengths=3)
+        dt = cfl_dt(g.dx, 0.9)
+        solver = solver_cls(g, dt, **kw)
+        steps = 120
+        for _ in range(steps):
+            if solver_cls is MaxwellSolver:
+                apply_periodic(g, 0)
+            solver.step()
+        shift = c * steps * dt
+        x_e = g.axis_coords(0, "Ey")
+        expected = np.sin(k * (x_e - shift))
+        return np.max(np.abs(g.interior_view("Ey") - expected))
+
+    err_fdtd = run(MaxwellSolver)
+    err_psatd = run(PSATDMaxwellSolver)
+    assert err_psatd < 1e-9
+    assert err_fdtd > 100 * err_psatd
+
+
+def test_energy_conserved_exactly_in_vacuum():
+    g, _ = plane_wave_grid(n=32)
+    solver = PSATDMaxwellSolver(g, dt=2.0 * cfl_dt(g.dx))
+    e0 = g.field_energy()
+    for _ in range(100):
+        solver.step()
+    assert g.field_energy() == pytest.approx(e0, rel=1e-12)
+
+
+def test_uniform_current_drives_e_like_fdtd():
+    """The k=0 mode reduces to dE/dt = -J/eps0 exactly."""
+    g = YeeGrid((16,), (0.0,), (16.0,), guards=2)
+    dt = 1e-10
+    solver = PSATDMaxwellSolver(g, dt)
+    g.Jy[...] = 3.0
+    solver.step()
+    np.testing.assert_allclose(
+        g.interior_view("Ey"), -3.0 * dt / eps0, rtol=1e-12
+    )
+
+
+def test_2d_pulse_isotropic():
+    n = 32
+    g = YeeGrid((n, n), (0, 0), (1.0, 1.0), guards=2)
+    x = g.axis_coords(0, "Ez")
+    y = g.axis_coords(1, "Ez")
+    r2 = (x[:, None] - 0.5) ** 2 + (y[None, :] - 0.5) ** 2
+    g.interior_view("Ez")[...] = np.exp(-r2 / 0.005)
+    apply_periodic(g, 0)
+    apply_periodic(g, 1)
+    solver = PSATDMaxwellSolver(g, cfl_dt(g.dx, 0.9))
+    for _ in range(15):
+        solver.step()
+    ez = g.interior_view("Ez")
+    np.testing.assert_allclose(ez, ez.T, atol=1e-12)
+    np.testing.assert_allclose(ez, ez[::-1, :], atol=1e-9)
+
+
+def test_static_field_is_steady():
+    g = YeeGrid((16, 16), (0, 0), (1, 1), guards=2)
+    g.Bz[...] = 2.0
+    solver = PSATDMaxwellSolver(g, dt=1e-9)
+    for _ in range(10):
+        solver.step()
+    np.testing.assert_allclose(g.interior_view("Bz"), 2.0, rtol=1e-12)
+
+
+def test_half_push_interface_rejected():
+    g = YeeGrid((8,), (0.0,), (1.0,), guards=2)
+    solver = PSATDMaxwellSolver(g, dt=1e-10)
+    with pytest.raises(ConfigurationError):
+        solver.push_b(0.5)
+
+
+def test_langmuir_with_psatd():
+    """Full PIC with the spectral solver: the plasma oscillates at
+    omega_pe, demonstrating the drop-in compatibility with the particle
+    kernels on the staggered layout."""
+    from repro.constants import m_e, plasma_frequency, plasma_wavelength, q_e
+    from repro.core.simulation import Simulation
+    from repro.particles.injection import UniformProfile
+    from repro.particles.species import Species
+
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    g = YeeGrid((64,), (0.0,), (length,), guards=4)
+    sim = Simulation(g, shape_order=2, smoothing_passes=0,
+                     maxwell_solver="psatd")
+    e = Species("e", charge=-q_e, mass=m_e, ndim=1)
+    sim.add_species(e, profile=UniformProfile(n0), ppc=16)
+    k = 2 * np.pi / length
+    e.momenta[:, 0] = 1e-3 * np.sin(k * e.positions[:, 0])
+    steps = 500
+    hist = np.empty(steps)
+    for i in range(steps):
+        sim.step()
+        hist[i] = g.fields["Ex"][g.guards + 16]
+    spec = np.abs(np.fft.rfft(hist - hist.mean()))
+    freqs = np.fft.rfftfreq(steps, d=sim.dt) * 2 * np.pi
+    omega = freqs[np.argmax(spec)]
+    assert omega == pytest.approx(plasma_frequency(n0), rel=0.1)

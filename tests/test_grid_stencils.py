@@ -1,0 +1,59 @@
+"""Unit tests for the finite-difference stencils."""
+
+import numpy as np
+
+from repro.grid.stencils import CURL_TERMS, diff_backward, diff_forward, curl_term
+
+
+def test_forward_diff_linear_ramp_exact():
+    x = np.linspace(0.0, 10.0, 21)
+    arr = 3.0 * x
+    out = diff_forward(arr, 0, dx=0.5)
+    np.testing.assert_allclose(out[:-1], 3.0, rtol=1e-12)
+    assert out[-1] == 0.0
+
+
+def test_backward_diff_linear_ramp_exact():
+    x = np.linspace(0.0, 10.0, 21)
+    arr = 3.0 * x
+    out = diff_backward(arr, 0, dx=0.5)
+    np.testing.assert_allclose(out[1:], 3.0, rtol=1e-12)
+    assert out[0] == 0.0
+
+
+def test_diff_along_second_axis():
+    a = np.zeros((4, 6))
+    a[:] = np.arange(6.0) ** 2
+    out = diff_forward(a, 1, dx=1.0)
+    expected = np.diff(np.arange(6.0) ** 2)
+    np.testing.assert_allclose(out[:, :-1], np.broadcast_to(expected, (4, 5)))
+
+
+def test_diff_out_parameter_reused():
+    arr = np.arange(10.0)
+    scratch = np.full(10, 99.0)
+    out = diff_forward(arr, 0, 1.0, out=scratch)
+    assert out is scratch
+    np.testing.assert_allclose(out[:-1], 1.0)
+    assert out[-1] == 0.0
+
+
+def test_curl_terms_table_is_consistent():
+    # every E component is driven by B sources and vice versa, each term
+    # differentiates along an axis transverse to the component
+    for comp, terms in CURL_TERMS.items():
+        for source, axis, sign in terms:
+            assert source[0] != comp[0]
+            assert abs(sign) == 1.0
+            assert "xyz"[axis] != comp[1]
+
+
+def test_curl_term_drops_missing_axes():
+    fields = {name: np.zeros(8) for name in ("Ex", "Ey", "Ez", "Bx", "By", "Bz")}
+    fields["Bz"][:] = np.arange(8.0)
+    # In 1D, dEy/dt takes -c^2 dBz/dx (axis 0 kept), dBx/dz dropped
+    out = curl_term(fields, "Ey", ndim=1, dx=(2.0,))
+    np.testing.assert_allclose(out[1:], -0.5)
+    # Ex has no 1D curl term at all
+    out = curl_term(fields, "Ex", ndim=1, dx=(2.0,))
+    np.testing.assert_allclose(out, 0.0)

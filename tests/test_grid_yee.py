@@ -1,0 +1,104 @@
+"""Unit tests for the staggered Yee grid container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.grid.yee import STAGGER, YeeGrid
+
+
+def make_grid(n=(8, 6), guards=2):
+    lo = [0.0] * len(n)
+    hi = [1.0 * v for v in n]
+    return YeeGrid(n, lo, hi, guards=guards)
+
+
+def test_shapes_include_guards_and_nodes():
+    g = make_grid((8, 6), guards=2)
+    assert g.shape == (8 + 1 + 4, 6 + 1 + 4)
+    assert g.Ex.shape == g.shape
+    assert g.Bz.shape == g.shape
+
+
+def test_dx_from_bounds():
+    g = YeeGrid((10, 4), (0.0, -2.0), (5.0, 2.0), guards=1)
+    assert g.dx == (0.5, 1.0)
+
+
+def test_valid_slices_nodal_vs_staggered():
+    g = make_grid((8, 6))
+    nodal = g.valid_slices("rho")
+    assert nodal[0] == slice(2, 2 + 9)
+    ex = g.valid_slices("Ex")  # staggered in x only
+    assert ex[0] == slice(2, 2 + 8)
+    assert ex[1] == slice(2, 2 + 7)
+
+
+def test_axis_coords_staggering():
+    g = YeeGrid((4,), (0.0,), (4.0,), guards=2)
+    nodal = g.axis_coords(0, "rho")
+    np.testing.assert_allclose(nodal, [0, 1, 2, 3, 4])
+    stag = g.axis_coords(0, "Ex")
+    np.testing.assert_allclose(stag, [0.5, 1.5, 2.5, 3.5])
+
+
+def test_interior_view_is_a_view():
+    g = make_grid()
+    v = g.interior_view("Ey")
+    v += 3.0
+    assert g.Ey[g.valid_slices("Ey")].max() == 3.0
+
+
+def test_zero_sources():
+    g = make_grid()
+    g.Jx += 1.0
+    g.fields["rho"] += 2.0
+    g.zero_sources()
+    assert g.Jx.max() == 0.0
+    assert g.fields["rho"].max() == 0.0
+
+
+def test_copy_is_deep():
+    g = make_grid()
+    g.Ez += 1.0
+    h = g.copy()
+    h.Ez += 1.0
+    assert g.Ez.max() == 1.0
+    assert h.Ez.max() == 2.0
+
+
+def test_field_energy_uniform_e():
+    from repro.constants import eps0
+
+    g = YeeGrid((4, 4), (0.0, 0.0), (4.0, 4.0), guards=2)
+    g.interior_view("Ex")[...] = 2.0
+    n_pts = np.prod([s.stop - s.start for s in g.valid_slices("Ex")])
+    expected = 0.5 * eps0 * 4.0 * n_pts * 1.0  # cell volume 1
+    assert g.field_energy() == pytest.approx(expected)
+
+
+def test_stagger_table_is_yee():
+    assert STAGGER["Ex"] == (1, 0, 0)
+    assert STAGGER["Bx"] == (0, 1, 1)
+    assert STAGGER["rho"] == (0, 0, 0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_cells=(0, 4), lo=(0, 0), hi=(1, 1)),
+        dict(n_cells=(4, 4), lo=(0, 0), hi=(0, 1)),
+        dict(n_cells=(4, 4), lo=(0,), hi=(1, 1)),
+        dict(n_cells=(4, 4), lo=(0, 0), hi=(1, 1), guards=0),
+        dict(n_cells=(4, 4, 4, 4), lo=(0,) * 4, hi=(1,) * 4),
+    ],
+)
+def test_bad_configuration_raises(kwargs):
+    with pytest.raises(ConfigurationError):
+        YeeGrid(**kwargs)
+
+
+def test_getattr_unknown_raises():
+    g = make_grid()
+    with pytest.raises(AttributeError):
+        _ = g.not_a_field

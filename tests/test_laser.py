@@ -1,0 +1,183 @@
+"""Tests for laser profiles and the antenna."""
+
+import numpy as np
+import pytest
+
+from repro.constants import a0_to_field, c, eps0, fs, um
+from repro.exceptions import ConfigurationError
+from repro.grid.maxwell import MaxwellSolver, cfl_dt
+from repro.grid.yee import YeeGrid
+from repro.laser.antenna import LaserAntenna
+from repro.laser.profiles import GaussianLaser
+
+
+def make_laser(**kw):
+    args = dict(wavelength=0.8 * um, a0=2.0, waist=5 * um, duration=10 * fs)
+    args.update(kw)
+    return GaussianLaser(**args)
+
+
+def test_laser_validation():
+    with pytest.raises(ConfigurationError):
+        make_laser(polarization="x")
+    with pytest.raises(ConfigurationError):
+        make_laser(wavelength=-1.0)
+    with pytest.raises(ConfigurationError):
+        make_laser(duration=0.0)
+
+
+def test_peak_field_from_a0():
+    laser = make_laser(a0=3.0)
+    assert laser.e_peak == pytest.approx(a0_to_field(3.0, 0.8 * um))
+    # a0 = 1 at 0.8 um is ~4e12 V/m
+    assert a0_to_field(1.0, 0.8 * um) == pytest.approx(4.0e12, rel=0.01)
+
+
+def test_envelope_peaks_at_t_peak():
+    laser = make_laser(t_peak=50 * fs)
+    t = np.linspace(0, 100 * fs, 1001)
+    env = laser.envelope(t)
+    assert t[np.argmax(env)] == pytest.approx(50 * fs, abs=0.2 * fs)
+    assert env.max() == pytest.approx(1.0)
+
+
+def test_field_at_plane_peak_amplitude():
+    laser = make_laser()
+    t = laser.t_peak
+    r = np.linspace(-15 * um, 15 * um, 301)
+    field = laser.field_at_plane(t, r)
+    assert np.abs(field).max() <= laser.e_peak * (1 + 1e-9)
+    assert np.abs(field).max() > 0.8 * laser.e_peak  # near a carrier crest
+
+
+def test_transverse_gaussian_width():
+    laser = make_laser(waist=5 * um)
+    t = laser.t_peak
+    # envelope of |field| over a carrier period
+    r = np.array([0.0, 5 * um])
+    amps = []
+    for ri in r:
+        ts = t + np.linspace(0, laser.wavelength / c, 40)
+        amps.append(max(abs(laser.field_at_plane(ti, np.array([ri]))[0]) for ti in ts))
+    assert amps[1] / amps[0] == pytest.approx(np.exp(-1.0), rel=0.1)
+
+
+def test_oblique_incidence_phase_ramp():
+    laser = make_laser(incidence_angle=np.pi / 4)
+    t = laser.t_peak
+    r = np.linspace(-2 * um, 2 * um, 400)
+    field = laser.field_at_plane(t, r)
+    # transverse wavelength = lambda / sin(theta)
+    zero_crossings = np.count_nonzero(np.diff(np.sign(field)))
+    lam_t = 0.8 * um / np.sin(np.pi / 4)
+    expected = int(4 * um / (lam_t / 2))
+    assert abs(zero_crossings - expected) <= 2
+
+
+def test_duration_conversions():
+    laser = make_laser(duration=10 * fs)
+    assert laser.duration_fwhm_intensity() == pytest.approx(
+        10 * fs * np.sqrt(2 * np.log(2))
+    )
+    assert laser.total_emission_time() > laser.t_peak
+
+
+def test_antenna_emits_symmetric_waves_1d():
+    # resolve the 0.8 um carrier with 16 cells per wavelength
+    g = YeeGrid((2048,), (0.0,), (102.4e-6,), guards=3)
+    laser = make_laser(t_peak=40 * fs, duration=8 * fs)
+    antenna = LaserAntenna(laser, position=51.2e-6)
+    dt = cfl_dt(g.dx, 0.9)
+    solver = MaxwellSolver(g, dt)
+    t = 0.0
+    while t < laser.t_peak + 60 * fs:
+        g.fields["Jy"].fill(0.0)  # the PIC loop zeroes sources every step
+        antenna.add_current(g, t + dt / 2)
+        solver.step()
+        t += dt
+    ey = g.interior_view("Ey")
+    n = len(ey)
+    left = np.abs(ey[: n // 2 - 2]).max()
+    right = np.abs(ey[n // 2 + 2 :]).max()
+    assert left == pytest.approx(right, rel=0.05)  # symmetric emission
+    assert right == pytest.approx(laser.e_peak, rel=0.25)
+
+
+def test_antenna_skips_when_outside_domain():
+    g = YeeGrid((32,), (0.0,), (32.0e-6,), guards=3)
+    laser = make_laser()
+    antenna = LaserAntenna(laser, position=64.0e-6)  # outside
+    antenna.add_current(g, laser.t_peak)
+    assert np.all(g.fields["Jy"] == 0.0)
+
+
+def test_antenna_stops_after_emission():
+    g = YeeGrid((32,), (0.0,), (32.0e-6,), guards=3)
+    laser = make_laser()
+    antenna = LaserAntenna(laser, position=16.0e-6)
+    antenna.add_current(g, laser.total_emission_time() + 1 * fs)
+    assert np.all(g.fields["Jy"] == 0.0)
+
+
+def test_antenna_3d_oblique_rejected():
+    g = YeeGrid((8, 8, 8), (0, 0, 0), (8e-6, 8e-6, 8e-6), guards=2)
+    laser = make_laser(incidence_angle=0.3)
+    antenna = LaserAntenna(laser, position=4e-6)
+    with pytest.raises(ConfigurationError):
+        antenna.add_current(g, laser.t_peak)
+
+
+def test_antenna_polarization_selects_component():
+    g = YeeGrid((32, 16), (0.0, -8e-6), (32.0e-6, 8e-6), guards=3)
+    laser_z = make_laser(polarization="z")
+    LaserAntenna(laser_z, position=8e-6).add_current(g, laser_z.t_peak)
+    assert np.abs(g.fields["Jz"]).max() > 0
+    assert np.all(g.fields["Jy"] == 0.0)
+
+
+def test_focusing_validation():
+    with pytest.raises(ConfigurationError):
+        make_laser(incidence_angle=0.3, focal_distance=1e-5)
+
+
+def test_focused_beam_converges_to_waist():
+    """A pulse injected with converging wavefronts reaches its nominal
+    waist and amplitude at the focal plane (2D propagation test)."""
+    from repro.core.simulation import Simulation
+
+    lam = 0.8 * um
+    w0 = 2.0 * um
+    focus = 18 * um
+    g = YeeGrid(
+        (320, 96), (0.0, -9.6 * um), (32 * um, 9.6 * um), guards=4
+    )
+    sim = Simulation(g, boundaries="damped", n_absorber=10, smoothing_passes=0)
+    laser = GaussianLaser(
+        lam, a0=1.0, waist=w0, duration=8 * fs, t_peak=16 * fs,
+        focal_distance=focus,
+    )
+    antenna_x = 2 * um
+    sim.add_laser(LaserAntenna(laser, position=antenna_x))
+    # run until the peak sits at the focal plane
+    sim.run_until(laser.t_peak + focus / c)
+    ey = sim.grid.interior_view("Ey")
+    x = sim.grid.axis_coords(0, "Ey")
+    y = sim.grid.axis_coords(1, "Ey")
+    i_focus = np.argmin(np.abs(x - (antenna_x + focus)))
+    i_before = np.argmin(np.abs(x - (antenna_x + 0.3 * focus)))
+
+    def rms_width(ix):
+        # envelope over a few cells around ix to wash out the carrier
+        band = np.abs(ey[ix - 4 : ix + 5, :]).max(axis=0)
+        power = band**2
+        return np.sqrt(np.sum(power * y**2) / np.sum(power))
+
+    width_focus = rms_width(i_focus)
+    width_before = rms_width(i_before)
+    # the beam narrows toward the focus ...
+    assert width_focus < 0.75 * width_before
+    # ... to the nominal waist: Gaussian |E|^2 rms width = w0/2
+    assert width_focus == pytest.approx(w0 / 2, rel=0.35)
+    # and the field peaks near a0's value at focus
+    amp_focus = np.abs(ey[i_focus - 6 : i_focus + 7, :]).max()
+    assert amp_focus == pytest.approx(laser.e_peak, rel=0.3)

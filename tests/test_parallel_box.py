@@ -1,0 +1,76 @@
+"""Tests for Box index-space arithmetic and domain chopping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecompositionError
+from repro.parallel.box import Box, chop_domain
+
+
+def test_box_shape_and_cells():
+    b = Box((0, 2), (4, 8))
+    assert b.shape == (4, 6)
+    assert b.n_cells == 24
+    assert b.ndim == 2
+    assert b.center() == (2.0, 5.0)
+
+
+def test_box_validation():
+    with pytest.raises(DecompositionError):
+        Box((0, 0), (0, 4))
+    with pytest.raises(DecompositionError):
+        Box((0,), (4, 4))
+
+
+def test_contains_cell():
+    b = Box((2, 2), (4, 4))
+    assert b.contains_cell((2, 3))
+    assert not b.contains_cell((4, 3))
+
+
+def test_intersect():
+    a = Box((0, 0), (4, 4))
+    b = Box((2, 2), (6, 6))
+    inter = a.intersect(b)
+    assert inter == Box((2, 2), (4, 4))
+    assert a.intersect(Box((4, 0), (8, 4))) is None
+
+
+def test_grown_and_shifted():
+    b = Box((2, 2), (4, 4))
+    assert b.grown(1) == Box((1, 1), (5, 5))
+    assert b.shifted((10, 0)) == Box((12, 2), (14, 4))
+
+
+def test_adjacency():
+    a = Box((0, 0), (4, 4))
+    b = Box((4, 0), (8, 4))   # face neighbour
+    d = Box((6, 6), (8, 8))   # distant
+    assert a.is_adjacent(b, guards=1)
+    assert not a.is_adjacent(d, guards=1)
+
+
+def test_chop_domain_tiles_exactly():
+    boxes = chop_domain((33, 16), max_grid_size=8)
+    # 33 -> 5 segments, 16 -> 2
+    assert len(boxes) == 5 * 2
+    total = sum(b.n_cells for b in boxes)
+    assert total == 33 * 16
+    for b in boxes:
+        assert all(s <= 8 for s in b.shape)
+
+
+def test_chop_domain_single_box():
+    boxes = chop_domain((8, 8), max_grid_size=16)
+    assert boxes == [Box((0, 0), (8, 8))]
+
+
+def test_chop_domain_validation():
+    with pytest.raises(DecompositionError):
+        chop_domain((8,), max_grid_size=0)
+
+
+def test_chop_3d_counts():
+    boxes = chop_domain((16, 16, 16), max_grid_size=8)
+    assert len(boxes) == 8
+    assert all(b.shape == (8, 8, 8) for b in boxes)

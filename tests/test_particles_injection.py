@@ -1,0 +1,144 @@
+"""Tests for density profiles and plasma injection."""
+
+import numpy as np
+import pytest
+
+from repro.constants import critical_density, q_e
+from repro.exceptions import ConfigurationError
+from repro.grid.yee import YeeGrid
+from repro.particles.injection import (
+    GasJetProfile,
+    HybridTargetProfile,
+    SlabProfile,
+    UniformProfile,
+    inject_plasma,
+)
+from repro.particles.species import Species
+
+
+def make_grid(ndim=2, n=8):
+    return YeeGrid((n,) * ndim, (0.0,) * ndim, (float(n),) * ndim, guards=2)
+
+
+def test_uniform_profile():
+    p = UniformProfile(1e24)
+    pos = np.random.default_rng(0).uniform(size=(10, 2))
+    np.testing.assert_allclose(p(pos), 1e24)
+
+
+def test_slab_profile_with_ramp():
+    p = SlabProfile(2.0, lo=4.0, hi=6.0, axis=0, ramp=2.0)
+    pos = np.array([[1.0, 0], [3.0, 0], [4.5, 0], [6.5, 0]])
+    np.testing.assert_allclose(p(pos), [0.0, 1.0, 2.0, 0.0])
+
+
+def test_gas_jet_trapezoid():
+    p = GasJetProfile(1.0, ramp_up=(0.0, 2.0), plateau_end=6.0, ramp_down_end=8.0)
+    pos = np.array([[x, 0.0] for x in [-1.0, 1.0, 4.0, 7.0, 9.0]])
+    np.testing.assert_allclose(p(pos), [0.0, 0.5, 1.0, 0.5, 0.0])
+    with pytest.raises(ConfigurationError):
+        GasJetProfile(1.0, ramp_up=(2.0, 1.0), plateau_end=6.0, ramp_down_end=8.0)
+
+
+def test_hybrid_target_combines_solid_and_gas():
+    nc = critical_density(0.8e-6)
+    p = HybridTargetProfile(
+        n_solid=50 * nc,
+        solid_lo=6.0,
+        solid_hi=7.0,
+        n_gas=0.001 * nc,
+        gas_lo=0.0,
+        gas_hi=6.0,
+    )
+    pos = np.array([[3.0, 0.0], [6.5, 0.0], [7.5, 0.0]])
+    dens = p(pos)
+    assert dens[0] == pytest.approx(0.001 * nc)
+    assert dens[1] == pytest.approx(50 * nc)
+    assert dens[2] == 0.0
+
+
+def test_profile_sum_operator():
+    p = UniformProfile(1.0) + UniformProfile(2.0)
+    np.testing.assert_allclose(p(np.zeros((3, 2))), 3.0)
+
+
+def test_inject_uniform_counts_and_weights():
+    g = make_grid(ndim=2, n=8)
+    s = Species("e", ndim=2)
+    n0 = 1.0e24
+    n_inj = inject_plasma(s, g, UniformProfile(n0), ppc=(2, 2))
+    assert n_inj == 8 * 8 * 4
+    # total physical particles = n0 * volume
+    assert s.weights.sum() == pytest.approx(n0 * 64.0, rel=1e-12)
+    # all particles inside the domain
+    assert s.positions.min() >= 0.0 and s.positions.max() < 8.0
+
+
+def test_inject_respects_subregion():
+    g = make_grid(ndim=2, n=8)
+    s = Species("e", ndim=2)
+    inject_plasma(s, g, UniformProfile(1.0), ppc=1, lo=(2.0, 0.0), hi=(4.0, 8.0))
+    assert np.all(s.positions[:, 0] >= 2.0)
+    assert np.all(s.positions[:, 0] < 4.0)
+    assert s.n == 2 * 8
+
+
+def test_inject_skips_zero_density():
+    g = make_grid(ndim=2, n=8)
+    s = Species("e", ndim=2)
+    inject_plasma(s, g, SlabProfile(1.0, lo=6.0, hi=8.0, axis=0), ppc=1)
+    assert np.all(s.positions[:, 0] >= 6.0)
+    assert s.n == 2 * 8
+
+
+def test_inject_thermal_momenta():
+    g = make_grid(ndim=1, n=8)
+    s = Species("e", ndim=1)
+    inject_plasma(
+        s,
+        g,
+        UniformProfile(1.0),
+        ppc=200,
+        temperature_uth=0.1,
+        rng=np.random.default_rng(13),
+    )
+    std = s.momenta.std(axis=0)
+    np.testing.assert_allclose(std, 0.1, rtol=0.1)
+
+
+def test_inject_drift():
+    g = make_grid(ndim=1, n=4)
+    s = Species("e", ndim=1)
+    inject_plasma(s, g, UniformProfile(1.0), ppc=2, drift_u=(0.5, 0.0, 0.0))
+    np.testing.assert_allclose(s.momenta[:, 0], 0.5)
+
+
+def test_inject_ppc_validation():
+    g = make_grid(ndim=2)
+    s = Species("e", ndim=2)
+    with pytest.raises(ConfigurationError):
+        inject_plasma(s, g, UniformProfile(1.0), ppc=(2, 2, 2))
+
+
+def test_inject_empty_region_returns_zero():
+    g = make_grid(ndim=2)
+    s = Species("e", ndim=2)
+    assert inject_plasma(s, g, UniformProfile(1.0), ppc=1, lo=(9.0, 0.0), hi=(10.0, 1.0)) == 0
+    assert s.n == 0
+
+
+def test_deposited_density_matches_profile():
+    """Depositing the injected particles reproduces the requested density."""
+    from repro.particles.deposit import deposit_charge
+
+    g = make_grid(ndim=2, n=8)
+    s = Species("e", charge=-q_e, ndim=2)
+    n0 = 3.0e25
+    inject_plasma(s, g, UniformProfile(n0), ppc=(3, 3))
+    deposit_charge(g, s.positions, s.weights, s.charge, order=2)
+    from repro.grid.boundary import accumulate_periodic_sources
+
+    accumulate_periodic_sources(g, 0)
+    accumulate_periodic_sources(g, 1)
+    rho = g.interior_view("rho")[:-1, :-1]  # unique nodes
+    np.testing.assert_allclose(rho, -q_e * n0, rtol=1e-9)

@@ -1,0 +1,135 @@
+"""Tests for ADK field ionization."""
+
+import numpy as np
+import pytest
+
+from repro.constants import a0_to_field, fs, q_e, um
+from repro.exceptions import ConfigurationError
+from repro.grid.yee import YeeGrid
+from repro.particles.ionization import (
+    ADKIonization,
+    IONIZATION_ENERGIES,
+    adk_rate,
+    barrier_suppression_field,
+)
+from repro.particles.species import Species
+
+
+def test_rate_monotone_in_field():
+    fields = np.array([1e10, 5e10, 1e11, 3e11])
+    rates = adk_rate(fields, 13.6, 1)
+    assert np.all(np.diff(rates) > 0)
+
+
+def test_rate_decreases_with_binding_energy():
+    e = np.array([2e11])
+    assert adk_rate(e, 13.6, 1)[0] > adk_rate(e, 24.6, 1)[0]
+
+
+def test_hydrogen_bsi_threshold():
+    """The classical barrier-suppression field of hydrogen is ~3.2e10 V/m
+    (the textbook 1.4e14 W/cm^2); the ADK rate there reaches ~1/fs."""
+    e_bsi = barrier_suppression_field(13.598, 1)
+    assert e_bsi == pytest.approx(3.21e10, rel=0.02)
+    rate = adk_rate(np.array([e_bsi]), 13.598, 1)[0]
+    assert 1e13 < rate < 1e17  # ionizes within femtoseconds
+
+
+def test_negligible_rate_below_threshold():
+    rate = adk_rate(np.array([1e9]), 13.598, 1)[0]  # ~100x below BSI
+    assert rate * 1.0 < 1e-30  # nothing happens in a second
+
+
+def make_ladder(element="He", n_atoms=200, ndim=2, seed=2):
+    electrons = Species("electrons", ndim=ndim)
+    ladder = ADKIonization(element, electrons, ndim=ndim, seed=seed)
+    rng = np.random.default_rng(seed)
+    ladder.add_neutrals(
+        rng.uniform(2.0, 6.0, size=(n_atoms, ndim)), np.full(n_atoms, 1e6)
+    )
+    return ladder, electrons
+
+
+def test_ladder_construction():
+    ladder, _ = make_ladder("He")
+    assert len(ladder.states) == 3
+    assert ladder.states[0].charge == 0.0
+    assert ladder.states[2].charge == pytest.approx(2 * q_e)
+    with pytest.raises(ConfigurationError):
+        ADKIonization("Xx", Species("e", ndim=1), ndim=1)
+    with pytest.raises(ConfigurationError):
+        ADKIonization("He", Species("e", ndim=1), ndim=1, max_state=5)
+
+
+def test_strong_field_ionizes_and_conserves_charge():
+    ladder, electrons = make_ladder("He")
+    g = YeeGrid((8, 8), (0.0, 0.0), (8.0, 8.0), guards=3)
+    g.fields["Ey"][...] = 5e11  # far above both He thresholds
+    q0 = ladder.total_charge()
+    atoms0 = ladder.total_atoms()
+    for _ in range(40):
+        ladder.apply(g, dt=1e-16)
+    assert ladder.mean_charge_state() > 1.5  # mostly fully stripped
+    assert electrons.n > 0
+    assert ladder.total_charge() == pytest.approx(q0, abs=1e-25)
+    assert ladder.total_atoms() == pytest.approx(atoms0)
+    # electrons are born where their parents sat
+    assert electrons.positions[:, 0].min() >= 2.0
+    assert electrons.positions[:, 0].max() < 6.0
+
+
+def test_weak_field_does_nothing():
+    ladder, electrons = make_ladder("H")
+    g = YeeGrid((8, 8), (0.0, 0.0), (8.0, 8.0), guards=3)
+    g.fields["Ey"][...] = 1e9
+    events = sum(ladder.apply(g, dt=1e-15) for _ in range(20))
+    assert events == 0
+    assert electrons.n == 0
+    assert ladder.mean_charge_state() == 0.0
+
+
+def test_inner_shell_survives_moderate_field():
+    """Nitrogen's K-shell (552 eV) survives fields that strip the outer
+    shells — the physics behind ionization injection."""
+    ladder, electrons = make_ladder("N")
+    g = YeeGrid((8, 8), (0.0, 0.0), (8.0, 8.0), guards=3)
+    g.fields["Ey"][...] = 1.0e12  # strips the L shell, not the K shell
+    for _ in range(60):
+        ladder.apply(g, dt=1e-16)
+    mean = ladder.mean_charge_state()
+    assert 4.0 < mean <= 5.05  # pinned at the N5+ K-shell edge
+    assert ladder.states[6].n == 0  # no K-shell ionization
+    assert ladder.states[7 if len(ladder.states) > 7 else -1].n == 0
+
+
+def test_attach_to_simulation_with_laser():
+    """End to end: a focused laser ionizes hydrogen gas only where its
+    field exceeds the threshold."""
+    from repro.core.simulation import Simulation
+    from repro.laser.antenna import LaserAntenna
+    from repro.laser.profiles import GaussianLaser
+
+    g = YeeGrid((128, 32), (0.0, -8 * um), (32 * um, 8 * um), guards=4)
+    sim = Simulation(g, boundaries="damped", smoothing_passes=1)
+    laser = GaussianLaser(0.8 * um, a0=0.05, waist=3 * um, duration=6 * fs,
+                          t_peak=12 * fs)
+    # a0 = 0.05 -> E ~ 2e11 V/m: far above the hydrogen BSI field on axis,
+    # far below it in the wings
+    sim.add_laser(LaserAntenna(laser, position=2 * um))
+    electrons = Species("electrons", ndim=2)
+    ladder = ADKIonization("H", electrons, ndim=2, seed=5)
+    rng = np.random.default_rng(6)
+    n_atoms = 600
+    pos = np.column_stack([
+        rng.uniform(8 * um, 28 * um, n_atoms),
+        rng.uniform(-7 * um, 7 * um, n_atoms),
+    ])
+    ladder.add_neutrals(pos, np.full(n_atoms, 1e3))
+    ladder.attach(sim)
+    from repro.constants import c
+
+    sim.run_until(laser.t_peak + 24 * um / c)
+    assert electrons.n > 0
+    # ionization is confined near the axis where the field is strong
+    assert np.abs(electrons.positions[:, 1]).max() < 6 * um
+    assert ladder.total_charge() == pytest.approx(0.0, abs=1e-22)

@@ -1,0 +1,108 @@
+"""Property tests for the B-spline shape factors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.particles.shapes import bspline, required_guards, shape_weights
+
+ORDERS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_bspline_support(order):
+    half = (order + 1) / 2.0
+    s = np.linspace(-4, 4, 1001)
+    vals = bspline(order, s)
+    assert np.all(vals[np.abs(s) > half] == 0.0)
+    assert np.all(vals[np.abs(s) < half - 1e-9] > 0.0)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_bspline_symmetry_and_peak(order):
+    s = np.linspace(0, 3, 301)
+    np.testing.assert_allclose(bspline(order, s), bspline(order, -s))
+    assert bspline(order, np.array([0.0]))[0] == max(
+        bspline(order, np.linspace(-2, 2, 401))
+    )
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_bspline_unit_integral(order):
+    s = np.linspace(-3, 3, 60001)
+    integral = np.trapezoid(bspline(order, s), s)
+    assert integral == pytest.approx(1.0, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    order=st.sampled_from(ORDERS),
+    x=st.floats(5.0, 20.0, allow_nan=False),
+)
+def test_partition_of_unity(order, x):
+    """sum_j B_o(j - x) = 1 for any particle position."""
+    j = np.arange(0, 30)
+    total = bspline(order, j - x).sum()
+    assert total == pytest.approx(1.0, abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    order=st.sampled_from(ORDERS),
+    x=st.floats(5.0, 20.0, allow_nan=False),
+)
+def test_shape_weights_match_bspline(order, x):
+    """The tabulated stencil weights are exactly B_o(j - x)."""
+    i0, w = shape_weights(np.array([x]), order)
+    for k in range(order + 1):
+        expected = bspline(order, (i0[0] + k) - x)
+        assert w[0, k] == pytest.approx(float(expected), abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    order=st.sampled_from(ORDERS),
+    x=st.floats(5.0, 20.0, allow_nan=False),
+)
+def test_shape_weights_sum_to_one(order, x):
+    _, w = shape_weights(np.array([x]), order)
+    assert w.sum() == pytest.approx(1.0, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    order=st.sampled_from(ORDERS),
+    x=st.floats(5.0, 20.0, allow_nan=False),
+)
+def test_shape_weights_first_moment(order, x):
+    """The stencil reproduces the particle position as its centroid
+    (exact for orders >= 1: B-splines reproduce linears)."""
+    i0, w = shape_weights(np.array([x]), order)
+    centroid = sum(w[0, k] * (i0[0] + k) for k in range(order + 1))
+    assert centroid == pytest.approx(x, abs=1e-10)
+
+
+def test_shape_weights_vectorized_matches_scalar():
+    rng = np.random.default_rng(2)
+    xs = rng.uniform(5, 15, size=50)
+    for order in ORDERS:
+        i0, w = shape_weights(xs, order)
+        for p in range(len(xs)):
+            i0p, wp = shape_weights(xs[p : p + 1], order)
+            assert i0p[0] == i0[p]
+            np.testing.assert_allclose(wp[0], w[p])
+
+
+def test_required_guards():
+    assert required_guards(1) == 2
+    assert required_guards(2) == 2
+    assert required_guards(3) == 3
+
+
+def test_unsupported_order_raises():
+    with pytest.raises(ConfigurationError):
+        bspline(5, np.array([0.0]))
+    with pytest.raises(ConfigurationError):
+        shape_weights(np.array([0.0]), 0)

@@ -1,0 +1,105 @@
+"""Unit tests for the SoA species container."""
+
+import numpy as np
+import pytest
+
+from repro.constants import c, m_e, q_e
+from repro.exceptions import ConfigurationError
+from repro.particles.species import Species
+
+
+def test_empty_container():
+    s = Species("e", ndim=2)
+    assert len(s) == 0
+    assert s.n == 0
+    assert s.kinetic_energy() == 0.0
+
+
+def test_add_particles_defaults():
+    s = Species("e", ndim=2)
+    ids = s.add_particles([[0.0, 1.0], [2.0, 3.0]])
+    assert s.n == 2
+    np.testing.assert_array_equal(ids, [0, 1])
+    np.testing.assert_allclose(s.momenta, 0.0)
+    np.testing.assert_allclose(s.weights, 1.0)
+
+
+def test_ids_are_unique_across_additions():
+    s = Species("e", ndim=1)
+    a = s.add_particles([[0.0]])
+    b = s.add_particles([[1.0], [2.0]])
+    assert set(a) | set(b) == {0, 1, 2}
+
+
+def test_add_wrong_shape_raises():
+    s = Species("e", ndim=2)
+    with pytest.raises(ConfigurationError):
+        s.add_particles([[1.0, 2.0, 3.0]])
+    with pytest.raises(ConfigurationError):
+        s.add_particles([[1.0, 2.0]], momenta=[[1.0, 2.0]])
+
+
+def test_remove_returns_removed():
+    s = Species("e", ndim=1)
+    s.add_particles([[float(i)] for i in range(5)])
+    removed = s.remove(s.positions[:, 0] >= 3.0)
+    assert s.n == 3
+    assert removed.n == 2
+    np.testing.assert_array_equal(removed.ids, [3, 4])
+
+
+def test_extend_preserves_ids():
+    a = Species("e", ndim=1)
+    a.add_particles([[0.0]])
+    b = Species("e", ndim=1)
+    b.add_particles([[1.0], [2.0]])
+    moved = b.remove(np.array([True, False]))
+    a.extend(moved)
+    assert a.n == 2
+    assert list(a.ids) == [0, 0]  # ids are per-container counters
+    with pytest.raises(ConfigurationError):
+        a.extend(Species("e", ndim=2))
+
+
+def test_gamma_and_velocity():
+    s = Species("e", ndim=1)
+    s.add_particles([[0.0]], momenta=[[3.0, 0.0, 4.0]])  # |u| = 5
+    np.testing.assert_allclose(s.gamma(), np.sqrt(26.0))
+    v = s.velocities()
+    np.testing.assert_allclose(np.linalg.norm(v), 5.0 * c / np.sqrt(26.0))
+
+
+def test_kinetic_energy_scaling_with_weight():
+    s = Species("e", ndim=1)
+    s.add_particles([[0.0]], momenta=[[1.0, 0.0, 0.0]], weights=[2.0])
+    expected = (np.sqrt(2.0) - 1.0) * m_e * c**2 * 2.0
+    assert s.kinetic_energy() == pytest.approx(expected)
+
+
+def test_total_charge():
+    s = Species("e", charge=-q_e, ndim=1)
+    s.add_particles([[0.0], [1.0]], weights=[1e9, 2e9])
+    assert s.total_charge() == pytest.approx(-3e9 * q_e)
+
+
+def test_reorder_permutation():
+    s = Species("e", ndim=1)
+    s.add_particles([[0.0], [1.0], [2.0]])
+    s.reorder(np.array([2, 0, 1]))
+    np.testing.assert_allclose(s.positions[:, 0], [2.0, 0.0, 1.0])
+    np.testing.assert_array_equal(s.ids, [2, 0, 1])
+
+
+def test_copy_independent():
+    s = Species("e", ndim=1)
+    s.add_particles([[1.0]])
+    t = s.copy()
+    t.positions += 5.0
+    assert s.positions[0, 0] == 1.0
+
+
+def test_bad_construction():
+    with pytest.raises(ConfigurationError):
+        Species("e", ndim=4)
+    with pytest.raises(ConfigurationError):
+        Species("e", mass=-1.0)

@@ -1,0 +1,152 @@
+"""Tests and property tests for particle splitting / merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.grid.yee import YeeGrid
+from repro.particles.species import Species
+from repro.particles.splitting import merge_particles, split_particles
+
+
+def make_species(n=20, ndim=2, seed=1):
+    s = Species("e", ndim=ndim)
+    rng = np.random.default_rng(seed)
+    s.add_particles(
+        rng.uniform(1.0, 7.0, size=(n, ndim)),
+        rng.normal(0, 0.5, size=(n, 3)),
+        rng.uniform(0.5, 2.0, size=n),
+    )
+    return s
+
+
+def test_split_conserves_everything():
+    s = make_species()
+    w0 = s.weights.sum()
+    p0 = (s.weights[:, None] * s.momenta).sum(axis=0)
+    ke0 = s.kinetic_energy()
+    centroid0 = (s.weights[:, None] * s.positions).sum(axis=0)
+    added = split_particles(s, np.ones(s.n, dtype=bool), n_children=4,
+                            position_spread=0.01)
+    assert added == 20 * 3
+    assert s.n == 80
+    assert s.weights.sum() == pytest.approx(w0)
+    np.testing.assert_allclose(
+        (s.weights[:, None] * s.momenta).sum(axis=0), p0, rtol=1e-12
+    )
+    assert s.kinetic_energy() == pytest.approx(ke0)
+    np.testing.assert_allclose(
+        (s.weights[:, None] * s.positions).sum(axis=0), centroid0, rtol=1e-9
+    )
+
+
+def test_split_selected_only():
+    s = make_species(n=10)
+    mask = np.zeros(10, dtype=bool)
+    mask[:3] = True
+    added = split_particles(s, mask, n_children=2)
+    assert added == 3
+    assert s.n == 13
+
+
+def test_split_odd_children():
+    s = make_species(n=5)
+    split_particles(s, np.ones(5, dtype=bool), n_children=3, position_spread=0.02)
+    assert s.n == 15
+
+
+def test_split_validation():
+    s = make_species(n=4)
+    with pytest.raises(ConfigurationError):
+        split_particles(s, np.ones(4, dtype=bool), n_children=1)
+    with pytest.raises(ConfigurationError):
+        split_particles(s, np.ones(3, dtype=bool))
+
+
+def test_split_empty_mask_noop():
+    s = make_species(n=4)
+    assert split_particles(s, np.zeros(4, dtype=bool)) == 0
+    assert s.n == 4
+
+
+def grid_for(ndim=2, n=8):
+    return YeeGrid((n,) * ndim, (0.0,) * ndim, (float(n),) * ndim, guards=2)
+
+
+def test_merge_conserves_charge_and_momentum():
+    s = Species("e", ndim=2)
+    # two clusters of identical-momentum particles in the same cell
+    pos = np.concatenate([np.full((6, 2), 3.2), np.full((6, 2), 5.7)])
+    mom = np.concatenate([np.tile([1.0, 0.0, 0.0], (6, 1)),
+                          np.tile([-0.5, 0.2, 0.0], (6, 1))])
+    w = np.ones(12)
+    s.add_particles(pos, mom, w)
+    w0 = s.weights.sum()
+    p0 = (s.weights[:, None] * s.momenta).sum(axis=0)
+    removed, loss = merge_particles(s, grid_for(), tile_cells=1)
+    assert removed > 0
+    assert s.n < 12
+    assert s.weights.sum() == pytest.approx(w0)
+    np.testing.assert_allclose(
+        (s.weights[:, None] * s.momenta).sum(axis=0), p0, rtol=1e-12
+    )
+    # identical momenta within groups: zero energy loss
+    assert loss == pytest.approx(0.0, abs=1e-12)
+
+
+def test_merge_respects_momentum_bins():
+    """Counter-streaming beams in the same cell must NOT merge into a
+    zero-momentum blob."""
+    s = Species("e", ndim=2)
+    pos = np.full((8, 2), 3.3)
+    mom = np.concatenate([np.tile([2.0, 0, 0], (4, 1)), np.tile([-2.0, 0, 0], (4, 1))])
+    s.add_particles(pos, mom, np.ones(8))
+    removed, loss = merge_particles(s, grid_for(), tile_cells=1, momentum_bins=2)
+    # merging happened within each beam, not across
+    assert s.n == 2
+    moms = sorted(s.momenta[:, 0])
+    assert moms[0] == pytest.approx(-2.0)
+    assert moms[1] == pytest.approx(2.0)
+
+
+def test_merge_small_population_noop():
+    s = make_species(n=1)
+    removed, loss = merge_particles(s, grid_for())
+    assert removed == 0 and s.n == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_merge_property_conservation(seed):
+    rng = np.random.default_rng(seed)
+    s = Species("e", ndim=2)
+    n = 40
+    # clustered positions to guarantee merge candidates
+    base = rng.uniform(1.0, 6.0, size=(4, 2))
+    pos = np.repeat(base, 10, axis=0) + rng.normal(0, 0.05, size=(n, 2))
+    mom = rng.normal(0, 0.1, size=(n, 3))
+    w = rng.uniform(0.5, 2.0, size=n)
+    s.add_particles(np.clip(pos, 0.1, 7.9), mom, w)
+    w0 = s.weights.sum()
+    p0 = (s.weights[:, None] * s.momenta).sum(axis=0)
+    removed, loss = merge_particles(s, grid_for(), tile_cells=1)
+    assert s.weights.sum() == pytest.approx(w0, rel=1e-12)
+    np.testing.assert_allclose(
+        (s.weights[:, None] * s.momenta).sum(axis=0), p0, rtol=1e-9, atol=1e-12
+    )
+    assert 0.0 <= loss < 0.5
+
+
+def test_split_then_merge_roundtrip():
+    """Splitting then merging returns to a similar population size with
+    all invariants intact."""
+    s = make_species(n=16, seed=3)
+    w0 = s.weights.sum()
+    split_particles(s, np.ones(s.n, dtype=bool), n_children=4,
+                    position_spread=0.01)
+    assert s.n == 64
+    merge_particles(s, grid_for(), tile_cells=1, max_group=4)
+    assert s.n <= 32
+    assert s.weights.sum() == pytest.approx(w0)

@@ -1,0 +1,88 @@
+"""Tests for the analytic kernel flop/byte counts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perfmodel.kernels import (
+    CALIBRATION_WORKLOAD,
+    KernelCounts,
+    deposit_counts,
+    gather_counts,
+    maxwell_counts,
+    mixed_precision_counts,
+    pic_step_counts,
+    push_counts,
+    smoothing_counts,
+)
+
+
+def test_counts_arithmetic():
+    a = KernelCounts(10.0, 20.0)
+    b = KernelCounts(5.0, 5.0)
+    s = a + b
+    assert s.flops == 15.0 and s.bytes == 25.0
+    assert a.scaled(2.0).flops == 20.0
+    assert a.arithmetic_intensity == 0.5
+    assert KernelCounts(1.0, 0.0).arithmetic_intensity == 0.0
+
+
+@pytest.mark.parametrize("fn", [gather_counts, deposit_counts])
+def test_counts_monotone_in_order(fn):
+    for ndim in (1, 2, 3):
+        flops = [fn(o, ndim).flops for o in (1, 2, 3)]
+        assert flops[0] < flops[1] < flops[2]
+        bytes_ = [fn(o, ndim).bytes for o in (1, 2, 3)]
+        assert bytes_[0] < bytes_[1] < bytes_[2]
+
+
+def test_counts_monotone_in_ndim():
+    for order in (1, 2, 3):
+        flops = [gather_counts(order, d).flops for d in (1, 2, 3)]
+        assert flops[0] < flops[1] < flops[2]
+
+
+def test_invalid_order_raises():
+    with pytest.raises(ConfigurationError):
+        gather_counts(5, 3)
+    with pytest.raises(ConfigurationError):
+        deposit_counts(1, 4)
+
+
+def test_pic_step_scales_with_ppc():
+    base = pic_step_counts(2, 3, ppc=0.0)
+    one = pic_step_counts(2, 3, ppc=1.0)
+    two = pic_step_counts(2, 3, ppc=2.0)
+    # particle part is linear in ppc
+    assert two.flops - one.flops == pytest.approx(one.flops - base.flops)
+    assert base.flops == maxwell_counts(3).flops
+
+
+def test_smoothing_scales_with_passes():
+    one = smoothing_counts(2, 1)
+    three = smoothing_counts(2, 3)
+    assert three.flops == pytest.approx(3 * one.flops)
+
+
+def test_calibration_workload_ai_memory_bound_regime():
+    """The calibration AI must keep every machine memory-bound: it is
+    ~1 Flop/byte, far below any machine's peak-flops/bandwidth ratio."""
+    c = pic_step_counts(**CALIBRATION_WORKLOAD)
+    assert 0.5 < c.arithmetic_intensity < 2.0
+
+
+def test_mixed_precision_buckets():
+    mp = mixed_precision_counts(2, 3, ppc=2.0)
+    dp_mode = pic_step_counts(2, 3, ppc=2.0)
+    total_mp_flops = mp["sp"].flops + mp["dp"].flops
+    # the MP split re-partitions (approximately) the same work
+    assert total_mp_flops == pytest.approx(dp_mode.flops, rel=0.2)
+    # SP dominates the flops; SP bytes are cheaper than the DP-mode bytes
+    assert mp["sp"].flops > mp["dp"].flops
+    assert mp["sp"].bytes + mp["dp"].bytes < dp_mode.bytes
+
+
+def test_push_counts_fixed():
+    c = push_counts()
+    assert c.flops == 62.0
+    assert c.bytes == 18 * 8

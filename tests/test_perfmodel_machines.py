@@ -1,0 +1,84 @@
+"""Tests for the machine catalog and roofline calibration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.perfmodel.kernels import CALIBRATION_WORKLOAD, pic_step_counts
+from repro.perfmodel.machines import MACHINES, get_machine
+from repro.perfmodel.roofline import device_flops, node_time_per_step
+
+
+def test_catalog_matches_table2():
+    f = get_machine("frontier")
+    assert f.peak_tflops_dp == 47.9 and f.mem_tb_per_s == 3.3
+    assert f.hpcg_pflops is None  # "not yet available" in the paper
+    s = get_machine("summit")
+    assert s.hpcg_pflops == 2.93 and s.n_nodes == 4608
+    fu = get_machine("fugaku")
+    assert fu.hpcg_pflops == 16.0 and fu.n_nodes == 158976
+    p = get_machine("perlmutter")
+    assert p.peak_tflops_sp == 19.5
+
+
+def test_get_machine_case_insensitive_and_errors():
+    assert get_machine("Summit").name == "Summit"
+    with pytest.raises(ConfigurationError):
+        get_machine("aurora")
+
+
+def test_bw_fraction_physical():
+    ai = pic_step_counts(**CALIBRATION_WORKLOAD).arithmetic_intensity
+    for m in MACHINES.values():
+        frac = m.bw_fraction(ai)
+        assert 0.0 < frac <= 1.0
+
+
+def test_dp_calibration_reproduces_table3():
+    """By construction, the modelled DP rate equals the Table III input
+    for the generic code path on every machine."""
+    for key, m in MACHINES.items():
+        rates = device_flops(m, mode="dp", optimized=False)
+        assert rates["dp"] == pytest.approx(m.measured_tflops_dp, rel=1e-6)
+
+
+def test_mp_prediction_shape():
+    """MP predictions (not calibrated) must show the paper's qualitative
+    pattern: SP flops dominate, a small DP remainder, and a faster step
+    than DP mode."""
+    for key, m in MACHINES.items():
+        mp = device_flops(m, mode="mp", optimized=False)
+        assert mp["sp"] > mp["dp"] > 0
+        t_dp = node_time_per_step(m, 1e7, mode="dp", optimized=False)
+        t_mp = node_time_per_step(m, 1e7, mode="mp", optimized=False)
+        assert t_mp < t_dp
+
+
+def test_fugaku_optimization_gain():
+    """The A64FX-optimized path is ~3x the generic path (Sec. V.A.1
+    reports 2.6-4.6x per kernel)."""
+    m = get_machine("fugaku")
+    t_gen = node_time_per_step(m, 1e6, mode="mp", optimized=False)
+    t_opt = node_time_per_step(m, 1e6, mode="mp", optimized=True)
+    gain = t_gen / t_opt
+    assert 2.0 < gain < 5.0
+
+
+def test_gpu_machines_unaffected_by_optimized_flag():
+    m = get_machine("summit")
+    assert node_time_per_step(m, 1e6, optimized=True) == pytest.approx(
+        node_time_per_step(m, 1e6, optimized=False)
+    )
+
+
+def test_memory_bound_everywhere():
+    """The compute leg of the roofline never binds for the PIC workload."""
+    from repro.perfmodel.kernels import pic_step_counts
+    from repro.perfmodel.roofline import device_time_for_counts
+
+    counts = pic_step_counts(**CALIBRATION_WORKLOAD)
+    for m in MACHINES.values():
+        t = device_time_for_counts(m, counts, 1e6, "dp", optimized=False)
+        t_mem_only = counts.bytes * 1e6 / (
+            m.mem_tb_per_s * 1e12 * m.bw_fraction(counts.arithmetic_intensity)
+        )
+        assert t == pytest.approx(t_mem_only)

@@ -1,0 +1,171 @@
+"""Cross-cutting property tests of core numerical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import c, m_e, q_e
+from repro.grid.interpolation import prolong, restrict
+from repro.grid.maxwell import MaxwellSolver, cfl_dt
+from repro.grid.pml import PMLMaxwellSolver
+from repro.grid.yee import YeeGrid
+from repro.particles.pusher import lorentz_factor, push_boris, push_vay
+from repro.particles.sorting import morton_encode
+
+
+def test_pml_reflection_improves_with_thickness():
+    """Thicker layers absorb better — the design knob of the Sec. V.B
+    patch termination."""
+
+    def residual(n_pml):
+        g = YeeGrid((256,), (0.0,), (1.0,), guards=3)
+        x_e = g.axis_coords(0, "Ey")
+        x_b = g.axis_coords(0, "Bz")
+        pulse = lambda s: np.exp(-(((s - 0.7) / 0.02) ** 2))
+        g.interior_view("Ey")[...] = pulse(x_e)
+        g.interior_view("Bz")[...] = pulse(x_b) / c
+        dt = cfl_dt(g.dx, 0.8)
+        solver = PMLMaxwellSolver(g, dt, n_pml=n_pml)
+        for _ in range(int(0.6 / (c * dt))):
+            solver.step()
+        sl = g.valid_slices("Ey")[0]
+        return float(np.sum(g.Ey[sl][20:-20] ** 2))
+
+    r4, r8, r16 = residual(4), residual(8), residual(16)
+    assert r8 < r4
+    assert r16 < r8
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ratio=st.sampled_from([2, 3, 4]),
+    stagger=st.sampled_from([0, 1]),
+    seed=st.integers(0, 100),
+)
+def test_restriction_preserves_integral(ratio, stagger, seed):
+    """Restriction is a density average: the integral (sum x cell size) of
+    the interior is preserved — the property that makes the restricted
+    current drive the parent with the right total current."""
+    rng = np.random.default_rng(seed)
+    n_c = 12
+    n_f = n_c * ratio + (1 - stagger)
+    arr = np.zeros(n_f)
+    # interior support only, so no edge-clipping effects
+    arr[2 * ratio : -2 * ratio] = rng.normal(size=n_f - 4 * ratio)
+    coarse = restrict(arr, ratio, (stagger,), (n_c + (1 - stagger),))
+    integral_f = arr.sum() * (1.0 / ratio)
+    integral_c = coarse.sum() * 1.0
+    assert integral_c == pytest.approx(integral_f, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ratio=st.sampled_from([2, 3, 4]), seed=st.integers(0, 100))
+def test_prolongation_preserves_integral(ratio, seed):
+    """Linear prolongation of interior-supported data preserves the
+    integral exactly: the interpolation weights at each fine point
+    telescope to one coarse cell's worth of measure."""
+    rng = np.random.default_rng(seed)
+    n_c = 16
+    coarse = np.zeros(n_c)
+    coarse[3:-3] = rng.normal(size=n_c - 6)
+    n_f = (n_c - 1) * ratio + 1
+    fine = prolong(coarse, ratio, (0,), (n_f,))
+    integral_c = coarse.sum() * 1.0
+    integral_f = fine.sum() * (1.0 / ratio)
+    assert integral_f == pytest.approx(integral_c, rel=1e-12, abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    b_mag=st.floats(0.1, 10.0),
+    dt_frac=st.floats(0.01, 0.3),
+)
+def test_boris_gyrophase_energy_invariant(seed, b_mag, dt_frac):
+    """|u| is invariant under pure magnetic rotation at ANY phase step."""
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=(5, 3))
+    b = np.tile([0.0, 0.0, b_mag], (5, 1))
+    e = np.zeros((5, 3))
+    omega_c = q_e * b_mag / m_e
+    dt = dt_frac / omega_c
+    mag0 = np.linalg.norm(u, axis=1)
+    for _ in range(7):
+        u = push_boris(u, e, b, -q_e, m_e, dt)
+    np.testing.assert_allclose(np.linalg.norm(u, axis=1), mag0, rtol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_vay_matches_boris_first_order(seed):
+    """The two pushers agree to O(dt^2) on one step."""
+    rng = np.random.default_rng(seed)
+    u = rng.normal(size=(4, 3))
+    e = 1e6 * rng.normal(size=(4, 3))
+    b = rng.normal(size=(4, 3))
+    dt = 1e-16
+    ub = push_boris(u, e, b, -q_e, m_e, dt)
+    uv = push_vay(u, e, b, -q_e, m_e, dt)
+    du = np.abs(ub - u).max() + 1e-300
+    np.testing.assert_allclose(ub, uv, atol=2e-4 * du + 1e-14)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.integers(0, 1023),
+    y=st.integers(0, 1023),
+    z=st.integers(0, 1023),
+)
+def test_morton_encode_injective_3d(x, y, z):
+    """Distinct coordinates give distinct codes (bit interleave is exact
+    for 10-bit inputs)."""
+    code = morton_encode([np.array([x]), np.array([y]), np.array([z])])[0]
+    # decode by de-interleaving
+    def extract(c, offset):
+        out = 0
+        for bit in range(10):
+            out |= ((int(c) >> (3 * bit + offset)) & 1) << bit
+        return out
+
+    assert extract(code, 0) == x
+    assert extract(code, 1) == y
+    assert extract(code, 2) == z
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500), steps=st.integers(5, 30))
+def test_fdtd_reversibility(seed, steps):
+    """The leapfrog vacuum update is time-reversible: stepping forward then
+    backward (negated dt) restores the initial fields to round-off."""
+    rng = np.random.default_rng(seed)
+    g = YeeGrid((32,), (0.0,), (1.0,), guards=3)
+    sl = g.valid_slices("Ey")
+    g.fields["Ey"][sl] = rng.normal(size=g.fields["Ey"][sl].shape)
+    sl = g.valid_slices("Bz")
+    # B at the wave-impedance scale E/c: with mismatched units the c^2
+    # dt/dx factor amplifies round-off far above the field scale
+    g.fields["Bz"][sl] = rng.normal(size=g.fields["Bz"][sl].shape) / c
+    from repro.grid.boundary import apply_periodic
+
+    apply_periodic(g, 0)
+    before = {c_: g.fields[c_].copy() for c_ in ("Ey", "Bz")}
+    dt = cfl_dt(g.dx, 0.5)
+    fwd = MaxwellSolver(g, dt)
+    for _ in range(steps):
+        apply_periodic(g, 0)
+        fwd.step()
+    # reverse: same solver structure with dt -> -dt
+    bwd = MaxwellSolver.__new__(MaxwellSolver)
+    bwd.grid = g
+    bwd.dt = -dt
+    bwd._scratch = np.zeros(g.shape, dtype=g.dtype)
+    for _ in range(steps):
+        apply_periodic(g, 0)
+        bwd.step()
+    apply_periodic(g, 0)
+    for comp in ("Ey", "Bz"):
+        sl = g.valid_slices(comp)
+        np.testing.assert_allclose(
+            g.fields[comp][sl], before[comp][sl], rtol=1e-9, atol=1e-12
+        )
