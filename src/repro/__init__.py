@@ -26,6 +26,10 @@ Subpackages
     paper's evaluation tables and figures.
 ``repro.diagnostics``
     Energy budgets, beam statistics, spectra, probes, timers.
+``repro.analysis``
+    Correctness tooling: PIC-aware lint rules (``python -m
+    repro.analysis``), the SimComm protocol checker, and the opt-in
+    runtime sanitizers (``REPRO_SANITIZE=1``).
 ``repro.scenarios``
     Uniform plasma, LWFA gas jet, and the hybrid solid-gas target.
 ``repro.picmi``

@@ -1,0 +1,41 @@
+"""PIC-aware static analysis and runtime sanitizers.
+
+The paper's production runs lean on strict kernel and communication
+discipline (guard-cell-only halo writes, matched send/recv pairs, no
+silent NaN propagation).  This subpackage machine-checks the same
+contracts for the reproduction:
+
+``repro.analysis.linter``
+    An AST lint pass with PIC-specific rules (no per-particle Python
+    loops in hot kernels, explicit dtypes on field allocations,
+    ``ReproError``-only exception discipline, timing through
+    :class:`~repro.diagnostics.timers.Timers`, ``__all__`` consistency).
+``repro.analysis.commcheck``
+    A post-hoc protocol checker over :class:`~repro.parallel.comm.SimComm`'s
+    event log: unreceived messages, tag mismatches, self-sends and
+    collective/barrier divergence across ranks.
+``repro.analysis.sanitize``
+    Opt-in runtime invariant sanitizers (``REPRO_SANITIZE=1``) wired into
+    the PIC step: non-finite fields, out-of-domain particles, guard-cell
+    consistency.
+
+Run the static pass from the command line::
+
+    python -m repro.analysis src/repro
+"""
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.linter import LintRule, lint_paths, registered_rules
+from repro.analysis.commcheck import ProtocolReport, check_comm
+from repro.analysis.sanitize import Sanitizer
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintRule",
+    "lint_paths",
+    "registered_rules",
+    "ProtocolReport",
+    "check_comm",
+    "Sanitizer",
+]

@@ -1,0 +1,95 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Runs the registered lint rules over the given files/directories
+(default: ``src/repro``, falling back to the installed package location)
+and reports findings as ``path:line: [severity] RULE-ID message``.
+Exits non-zero when any error-severity finding survives — the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.linter import lint_paths, registered_rules
+from repro.exceptions import AnalysisError
+
+
+def _default_paths() -> List[str]:
+    """``src/repro`` under the current directory, else the package itself."""
+    candidate = os.path.join("src", "repro")
+    if os.path.isdir(candidate):
+        return [candidate]
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="PIC-aware static analysis over the repro source tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, e.g. --select PIC002)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-finding lines, print only the summary",
+    )
+    return parser
+
+
+def _print_rules(stream) -> None:
+    for rule in registered_rules():
+        print(f"{rule.rule_id}  [{rule.severity}]  {rule.description}",
+              file=stream)
+
+
+def render_report(findings: Sequence[Finding], quiet: bool, stream) -> None:
+    if not quiet:
+        for finding in findings:
+            print(finding.format(), file=stream)
+    n_err = sum(1 for f in findings if f.severity == Severity.ERROR)
+    n_warn = len(findings) - n_err
+    if findings:
+        print(
+            f"repro.analysis: {n_err} error(s), {n_warn} warning(s)",
+            file=stream,
+        )
+    else:
+        print("repro.analysis: clean", file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules(stream)
+        return 0
+    paths = args.paths or _default_paths()
+    try:
+        findings = lint_paths(paths, select=args.select)
+    except AnalysisError as exc:
+        print(f"repro.analysis: error: {exc}", file=stream)
+        return 2
+    render_report(findings, args.quiet, stream)
+    has_errors = any(f.severity == Severity.ERROR for f in findings)
+    return 1 if has_errors else 0

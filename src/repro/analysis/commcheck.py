@@ -1,0 +1,166 @@
+"""Post-hoc protocol checker for the simulated MPI layer.
+
+Replays :attr:`SimComm.log <repro.parallel.comm.SimComm.log>` after a
+run (or any phase of one) and reports protocol violations the way a
+deadlock/race detector would on a real MPI trace:
+
+======   =================================================================
+COMM001  unreceived messages (send without a matching recv by end of run)
+COMM002  tag mismatch (a recv found nothing under its tag while messages
+         for the same (src, dst) pair were pending under another tag)
+COMM003  self-send (src == dst; should be a local copy, and would
+         deadlock a blocking-send MPI implementation)
+COMM004  collective-count divergence across ranks (some ranks reached an
+         allreduce that others never did — a guaranteed deadlock)
+COMM005  barrier-count divergence across ranks
+======   =================================================================
+
+Use :func:`check_comm` for a report, or
+:meth:`ProtocolReport.raise_if_failed` to turn violations into a
+:class:`~repro.exceptions.ProtocolError` (how the distributed tests gate
+on a clean protocol).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.exceptions import ProtocolError
+
+if TYPE_CHECKING:  # imported lazily to keep repro.analysis layering-free
+    from repro.parallel.comm import SimComm
+
+LOG_PATH = "<SimComm log>"
+
+
+def _msg_context(op: str, src: int, dst: int, tag: str) -> str:
+    """Message-context format, identical to SimComm's runtime errors."""
+    return f"{op}: src={src} dst={dst} tag={tag!r}"
+
+
+def _finding(rule: str, seq: int, message: str) -> Finding:
+    """A commcheck finding; the event sequence number stands in for a line."""
+    return Finding(rule=rule, message=message, path=LOG_PATH, line=seq)
+
+
+def _check_point_to_point(comm: "SimComm") -> List[Finding]:
+    """COMM001/COMM002/COMM003 by replaying send/recv events in order."""
+    findings: List[Finding] = []
+    outstanding: Dict[Tuple[int, int, str], List[int]] = defaultdict(list)
+    for ev in comm.log:
+        key = (ev.src, ev.dst, ev.tag)
+        if ev.kind == "send":
+            outstanding[key].append(ev.seq)
+            if ev.src == ev.dst:
+                findings.append(
+                    _finding(
+                        "COMM003",
+                        ev.seq,
+                        f"self-send on rank {ev.src} "
+                        f"({_msg_context('send', ev.src, ev.dst, ev.tag)}); "
+                        "use a local copy instead",
+                    )
+                )
+        elif ev.kind == "recv":
+            if outstanding[key]:
+                outstanding[key].pop(0)
+        elif ev.kind == "recv_missing":
+            pending_tags = sorted(
+                t
+                for (s, d, t), seqs in outstanding.items()
+                if s == ev.src and d == ev.dst and seqs and t != ev.tag
+            )
+            if pending_tags:
+                findings.append(
+                    _finding(
+                        "COMM002",
+                        ev.seq,
+                        f"tag mismatch: {_msg_context('recv', ev.src, ev.dst, ev.tag)} "
+                        f"found nothing while tags {pending_tags} were pending "
+                        "for the same pair",
+                    )
+                )
+    for (src, dst, tag), seqs in sorted(outstanding.items()):
+        if seqs:
+            findings.append(
+                _finding(
+                    "COMM001",
+                    seqs[0],
+                    f"{len(seqs)} unreceived message(s) "
+                    f"({_msg_context('send', src, dst, tag)}); every send "
+                    "needs a matching recv by end of run",
+                )
+            )
+    return findings
+
+
+def _check_divergence(comm: "SimComm", kind: str, rule: str) -> List[Finding]:
+    """Collective/barrier participation must be uniform across ranks."""
+    counts: Counter = Counter()
+    last_seq = 0
+    for ev in comm.log:
+        if ev.kind == kind:
+            counts[ev.src] += 1
+            last_seq = ev.seq
+    if not counts:
+        return []
+    per_rank = [counts.get(r, 0) for r in range(comm.n_ranks)]
+    if len(set(per_rank)) == 1:
+        return []
+    label = "allreduce" if kind == "collective" else "barrier"
+    return [
+        _finding(
+            rule,
+            last_seq,
+            f"{label} count diverges across ranks: per-rank counts "
+            f"{per_rank} (min {min(per_rank)}, max {max(per_rank)}) — "
+            "a real MPI run would deadlock",
+        )
+    ]
+
+
+@dataclass
+class ProtocolReport:
+    """Outcome of one protocol check: findings plus a little context."""
+
+    findings: List[Finding] = field(default_factory=list)
+    n_events: int = 0
+    n_ranks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        head = (
+            f"protocol check over {self.n_events} events on "
+            f"{self.n_ranks} rank(s): "
+        )
+        if self.ok:
+            return head + "clean"
+        lines = [head + f"{len(self.findings)} violation(s)"]
+        lines += [f"  {f.format()}" for f in self.findings]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.format()
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ProtocolError(self.format())
+
+
+def check_comm(comm: "SimComm") -> ProtocolReport:
+    """Run every protocol detector over ``comm``'s event log."""
+    findings: List[Finding] = []
+    findings += _check_point_to_point(comm)
+    findings += _check_divergence(comm, "collective", "COMM004")
+    findings += _check_divergence(comm, "barrier", "COMM005")
+    return ProtocolReport(
+        findings=sort_findings(findings),
+        n_events=len(comm.log),
+        n_ranks=comm.n_ranks,
+    )

@@ -1,0 +1,41 @@
+"""The common finding record shared by the linter, commcheck and sanitizers.
+
+Every layer of the analysis subsystem reports problems as
+:class:`Finding` values so the CLI, the CI gate and the tests consume one
+format: ``path:line: [severity] RULE-ID message``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Severity:
+    """Finding severities, ordered: errors gate CI, warnings do not."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ORDER = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation with enough context to jump to it."""
+
+    rule: str
+    message: str
+    path: str = "<run>"
+    line: int = 0
+    severity: str = Severity.ERROR
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.severity}] {self.rule} {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.format()
+
+
+def sort_findings(findings):
+    """Stable order for reports: by path, line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

@@ -1,0 +1,21 @@
+"""PIC-specific lint rules.
+
+Importing this package registers every rule with the linter registry.
+Rule ids are stable and documented in the README:
+
+======  ==================================================================
+PIC001  no per-particle Python ``for`` loops in hot-path kernel modules
+PIC002  ``np.zeros``/``np.empty`` must pass an explicit ``dtype``
+PIC003  only ``ReproError`` subclasses may be raised from library code
+PIC004  no direct wall-clock calls outside ``diagnostics.timers``
+PIC005  ``__all__`` must be consistent with the names a package binds
+======  ==================================================================
+"""
+
+from repro.analysis.rules import dtype
+from repro.analysis.rules import exports
+from repro.analysis.rules import hotloop
+from repro.analysis.rules import raises
+from repro.analysis.rules import timing
+
+__all__ = ["dtype", "exports", "hotloop", "raises", "timing"]

@@ -1,0 +1,48 @@
+"""PIC002: field allocations must pin their dtype explicitly.
+
+The paper runs WarpX in double and mixed precision; silently inheriting
+NumPy's default dtype is how a mixed-precision build ends up doing
+double-precision halo exchanges.  Every ``np.zeros``/``np.empty``
+allocation must say what it allocates — either a ``dtype=`` keyword or
+the positional dtype argument.  ``zeros_like``/``empty_like`` inherit
+their prototype's dtype and are exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import LintContext, LintRule, register
+
+ALLOCATORS = ("zeros", "empty")
+NUMPY_ALIASES = ("np", "numpy")
+
+
+@register
+class ExplicitDtypeRule(LintRule):
+    rule_id = "PIC002"
+    description = "np.zeros/np.empty must pass an explicit dtype"
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ALLOCATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in NUMPY_ALIASES
+            ):
+                continue
+            has_positional_dtype = len(node.args) >= 2
+            has_keyword_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+            if not (has_positional_dtype or has_keyword_dtype):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"np.{func.attr} without explicit dtype "
+                    "(pass dtype=... so precision is pinned)",
+                )

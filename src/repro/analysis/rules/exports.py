@@ -1,0 +1,184 @@
+"""PIC005: ``__all__`` stays consistent with what a package actually binds.
+
+Package ``__init__`` files are the public API surface; this rule keeps
+them honest in three ways:
+
+* every ``__all__`` entry must be bound in the module (no phantom
+  exports surviving a rename);
+* every public name an ``__init__.py`` binds via ``from ... import``
+  must be listed in ``__all__`` (no accidental unexported API), and an
+  ``__init__.py`` that re-exports names must define ``__all__`` at all;
+* ``from repro.x.y import N`` inside an ``__init__.py`` is resolved
+  against the scanned tree and ``N`` must exist in ``repro/x/y.py``
+  (catches the submodule rename that the import would only surface at
+  runtime).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import LintContext, LintRule, register
+
+
+def module_bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module level by imports, defs and assignments."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                names.add(bound)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            names.add(elt.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def find_dunder_all(tree: ast.Module) -> Tuple[Optional[List[str]], int]:
+    """The literal ``__all__`` list and its line (None if absent/dynamic)."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            entries = []
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    entries.append(elt.value)
+                else:
+                    return None, node.lineno  # dynamic entry: cannot check
+            return entries, node.lineno
+        return None, node.lineno
+    return None, 0
+
+
+def _package_base(path: str) -> Optional[str]:
+    """Directory containing the ``repro`` package root, if ``path`` is in one."""
+    d = os.path.dirname(os.path.abspath(path))
+    while True:
+        if os.path.basename(d) == "repro" and os.path.isfile(
+            os.path.join(d, "__init__.py")
+        ):
+            return os.path.dirname(d)
+        parent = os.path.dirname(d)
+        if parent == d:
+            return None
+        d = parent
+
+
+@register
+class ExportConsistencyRule(LintRule):
+    rule_id = "PIC005"
+    description = "__all__ must match the names a package binds and re-exports"
+
+    def __init__(self) -> None:
+        self._bound_cache: Dict[str, Optional[Set[str]]] = {}
+
+    def _resolved_names(self, base: str, module: str) -> Optional[Set[str]]:
+        """Module-level names of ``module`` resolved under ``base`` (cached)."""
+        parts = module.split(".")
+        candidates = (
+            os.path.join(base, *parts) + ".py",
+            os.path.join(base, *parts, "__init__.py"),
+        )
+        for candidate in candidates:
+            if candidate in self._bound_cache:
+                return self._bound_cache[candidate]
+            if os.path.isfile(candidate):
+                try:
+                    with open(candidate, "r", encoding="utf8") as fh:
+                        tree = ast.parse(fh.read())
+                    names = module_bound_names(tree)
+                except SyntaxError:
+                    names = None
+                self._bound_cache[candidate] = names
+                return names
+        return None
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        bound = module_bound_names(ctx.tree)
+        exported, all_line = find_dunder_all(ctx.tree)
+        is_init = ctx.basename == "__init__.py"
+
+        if exported is not None:
+            for name in exported:
+                if name not in bound:
+                    yield Finding(
+                        rule=self.rule_id,
+                        message=f"__all__ lists {name!r} but the module does "
+                        "not bind it",
+                        path=ctx.path,
+                        line=all_line,
+                        severity=self.severity,
+                    )
+
+        if not is_init:
+            return
+
+        base = _package_base(ctx.path)
+        reexported: List[Tuple[str, int]] = []
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                if not local.startswith("_"):
+                    reexported.append((local, node.lineno))
+                # resolve repro-internal imports against the scanned tree
+                if (
+                    base is not None
+                    and node.module
+                    and node.module.split(".")[0] == "repro"
+                ):
+                    target_names = self._resolved_names(base, node.module)
+                    if target_names is not None and alias.name not in target_names:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"{node.module} does not define {alias.name!r}",
+                        )
+
+        if not reexported:
+            return
+        if exported is None:
+            yield Finding(
+                rule=self.rule_id,
+                message="package __init__ re-exports names but defines no "
+                "literal __all__",
+                path=ctx.path,
+                line=all_line or 1,
+                severity=self.severity,
+            )
+            return
+        listed = set(exported)
+        for name, line in reexported:
+            if name not in listed:
+                yield Finding(
+                    rule=self.rule_id,
+                    message=f"public re-export {name!r} missing from __all__",
+                    path=ctx.path,
+                    line=line,
+                    severity=self.severity,
+                )

@@ -1,0 +1,97 @@
+"""PIC001: no per-particle Python loops in hot-path kernel modules.
+
+The Sec. V.A.1 lesson of the paper: kernels must be expressed over whole
+particle batches (vectorized here, GPU-parallel in WarpX), never as a
+Python loop over individual particles.  This rule flags ``for _ in
+range(n)`` loops in the hot modules when ``n`` is a particle count —
+literally ``x.shape[0]`` or a name assigned from it.  Chunked loops
+(three-argument ``range(start, stop, chunk)``) are the sanctioned batch
+idiom and pass.  Deliberately-scalar reference kernels carry a
+``# repro: allow(PIC001)`` pragma on their ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import LintContext, LintRule, register
+
+#: kernel modules where per-particle loops are forbidden
+HOT_MODULE_BASENAMES = ("deposit.py", "gather.py", "pusher.py")
+
+
+def _contains_shape0(node: ast.AST) -> bool:
+    """Does the expression mention ``<something>.shape[0]``?"""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Subscript):
+            continue
+        value = sub.value
+        if isinstance(value, ast.Attribute) and value.attr == "shape":
+            index = sub.slice
+            if isinstance(index, ast.Constant) and index.value == 0:
+                return True
+    return False
+
+
+def _particle_count_names(scope: ast.AST) -> Set[str]:
+    """Names assigned from expressions containing ``.shape[0]`` in scope."""
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and _contains_shape0(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _contains_shape0(node.value) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _scopes(tree: ast.Module) -> List[ast.AST]:
+    scopes: List[ast.AST] = [tree]
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+    return scopes
+
+
+@register
+class PerParticleLoopRule(LintRule):
+    rule_id = "PIC001"
+    description = (
+        "hot-path kernel modules must not loop over particles in Python; "
+        "vectorize over the batch or chunk with range(start, stop, chunk)"
+    )
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.basename not in HOT_MODULE_BASENAMES:
+            return
+        seen = set()
+        for scope in _scopes(ctx.tree):
+            counts = _particle_count_names(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.For):
+                    continue
+                call = node.iter
+                if not (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id == "range"
+                    and len(call.args) in (1, 2)
+                ):
+                    continue
+                stop = call.args[-1]
+                is_particle_count = _contains_shape0(stop) or (
+                    isinstance(stop, ast.Name) and stop.id in counts
+                )
+                key = (node.lineno, node.col_offset)
+                if is_particle_count and key not in seen:
+                    seen.add(key)
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "per-particle Python loop in hot-path module; "
+                        "vectorize over the batch (or pragma a reference kernel)",
+                    )

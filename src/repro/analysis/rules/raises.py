@@ -1,0 +1,110 @@
+"""PIC003: library code raises ``ReproError`` subclasses only.
+
+One catchable root type is the library's error contract
+(:mod:`repro.exceptions`); a stray ``ValueError`` from deep inside a
+kernel escapes every ``except ReproError`` in user code and tests.
+Raising builtin exceptions is flagged, with two idiomatic exemptions:
+
+* ``NotImplementedError`` — abstract-method stubs;
+* protocol exceptions (``AttributeError``, ``KeyError``, ``IndexError``,
+  ``StopIteration``) inside dunder methods, where Python's object
+  protocol requires them (e.g. ``__getattr__`` must raise
+  ``AttributeError`` for ``hasattr`` to work).
+
+Bare ``raise`` (re-raise) and raising a caught exception object are
+always allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import LintContext, LintRule, register
+
+#: builtin exception types that library code must not raise directly
+FORBIDDEN_BUILTINS = frozenset(
+    {
+        "BaseException",
+        "Exception",
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BufferError",
+        "EOFError",
+        "FloatingPointError",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "SystemError",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: allowed inside dunder methods because the object protocol demands them
+PROTOCOL_EXCEPTIONS = frozenset(
+    {"AttributeError", "KeyError", "IndexError", "StopIteration"}
+)
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def _walk_with_function(
+    node: ast.AST, func: Optional[str] = None
+) -> Iterator[Tuple[ast.Raise, Optional[str]]]:
+    """Yield (raise node, enclosing function name) pairs."""
+    for child in ast.iter_child_nodes(node):
+        child_func = func
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            child_func = child.name
+        if isinstance(child, ast.Raise):
+            yield child, child_func
+        yield from _walk_with_function(child, child_func)
+
+
+@register
+class ExceptionDisciplineRule(LintRule):
+    rule_id = "PIC003"
+    description = "raise ReproError subclasses, not builtin exceptions"
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        for node, func_name in _walk_with_function(ctx.tree):
+            name = _raised_name(node)
+            if name is None or name == "NotImplementedError":
+                continue
+            if name not in FORBIDDEN_BUILTINS:
+                continue  # assumed to be a ReproError subclass
+            in_dunder = bool(
+                func_name
+                and func_name.startswith("__")
+                and func_name.endswith("__")
+            )
+            if in_dunder and name in PROTOCOL_EXCEPTIONS:
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"raises builtin {name}; raise a ReproError subclass from "
+                "repro.exceptions instead",
+            )

@@ -1,0 +1,77 @@
+"""PIC004: wall-clock reads go through ``diagnostics.timers.Timers``.
+
+The load balancer and the performance model both consume the timer
+bookkeeping; a kernel that reads ``time.perf_counter()`` directly
+produces timings invisible to them (and to the Fig. 6 benchmark
+breakdown).  Any direct call of a ``time``-module clock outside
+``diagnostics/timers.py`` is flagged — use ``Timers.timer(name)`` or
+``Timers.stopwatch()`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.linter import LintContext, LintRule, register
+
+CLOCK_FUNCS = frozenset(
+    {"time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+     "process_time", "process_time_ns"}
+)
+
+#: the one module allowed to read clocks directly
+EXEMPT_BASENAMES = ("timers.py",)
+
+
+def _time_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to the ``time`` module (``import time as _t``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+def _clock_imports(tree: ast.Module) -> Set[str]:
+    """Names bound by ``from time import perf_counter [as x]``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_FUNCS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register
+class TimerDisciplineRule(LintRule):
+    rule_id = "PIC004"
+    description = "no direct time.time()/perf_counter() outside diagnostics.timers"
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.basename in EXEMPT_BASENAMES:
+            return
+        module_aliases = _time_aliases(ctx.tree)
+        clock_names = _clock_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            direct = (
+                isinstance(func, ast.Attribute)
+                and func.attr in CLOCK_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+            )
+            imported = isinstance(func, ast.Name) and func.id in clock_names
+            if direct or imported:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "direct wall-clock read; route timing through "
+                    "diagnostics.timers.Timers (timer()/stopwatch())",
+                )

@@ -105,7 +105,7 @@ def distribute_sfc(
 def load_imbalance(costs: Sequence[float], assignment: np.ndarray, n_ranks: int) -> float:
     """Max rank load divided by mean rank load (1.0 = perfectly balanced)."""
     costs = _validate(costs, n_ranks)
-    loads = np.zeros(n_ranks)
+    loads = np.zeros(n_ranks, dtype=np.float64)
     np.add.at(loads, np.asarray(assignment, dtype=np.intp), costs)
     mean = loads.mean()
     if mean == 0:
@@ -116,7 +116,7 @@ def load_imbalance(costs: Sequence[float], assignment: np.ndarray, n_ranks: int)
 def rank_loads(costs: Sequence[float], assignment: np.ndarray, n_ranks: int) -> np.ndarray:
     """Total cost per rank."""
     costs = _validate(costs, n_ranks)
-    loads = np.zeros(n_ranks)
+    loads = np.zeros(n_ranks, dtype=np.float64)
     np.add.at(loads, np.asarray(assignment, dtype=np.intp), costs)
     return loads
 

@@ -295,5 +295,20 @@ class MRSimulation(Simulation):
         for patch in self.patches:
             patch.shift_region(self.moving_window.direction)
 
+    def _run_sanitizers(self) -> None:
+        """Parent-level checks plus NaN/Inf scans of every patch grid."""
+        super()._run_sanitizers()
+        san = self.sanitizer
+        step = self.step_count
+        for k, patch in enumerate(self.patches):
+            for label, grid in (
+                ("fine", patch.fine),
+                ("coarse", patch.coarse),
+                ("aux", patch.aux),
+            ):
+                san.check_fields_finite(
+                    grid, step, label=f" (patch {k} {label})"
+                )
+
     def total_fine_cells(self) -> int:
         return sum(p.n_fine_cells() for p in self.patches)

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.sanitize import Sanitizer
 from repro.constants import c
 from repro.diagnostics.timers import Timers
 from repro.exceptions import ConfigurationError
@@ -181,6 +182,8 @@ class Simulation:
         self.moving_window: Optional[MovingWindow] = None
         self.time = 0.0
         self.step_count = 0
+        #: opt-in runtime invariant checks (None unless REPRO_SANITIZE=1)
+        self.sanitizer: Optional[Sanitizer] = Sanitizer.from_env()
         #: hooks called as f(sim) after each completed step
         self.callbacks: List[Callable[["Simulation"], None]] = []
 
@@ -356,6 +359,30 @@ class Simulation:
         self.timers.lap()
         for cb in self.callbacks:
             cb(self)
+
+        # last, so anything the whole step (callbacks included) left behind
+        # is caught before the next gather consumes it
+        if self.sanitizer is not None:
+            with self.timers.timer("sanitize"):
+                self._run_sanitizers()
+
+    def _run_sanitizers(self) -> None:
+        """Per-step invariant checks (opt-in via ``REPRO_SANITIZE=1``).
+
+        SAN001: fields finite after the solve.  SAN002: particles inside
+        the domain after push + boundaries.  SAN003: guard cells on
+        periodic axes hold the periodic image of the valid data (skipped
+        on the moving-window axis, whose roll legitimately shifts guards).
+        """
+        g = self.grid
+        step = self.step_count
+        san = self.sanitizer
+        san.check_fields_finite(g, step)
+        san.check_species_map(self.species, g.lo, g.hi, step)
+        window_axis = 0 if self.moving_window is not None else None
+        for axis, b in enumerate(self.boundaries):
+            if b == "periodic" and axis != window_axis:
+                san.check_guard_consistency(g, axis, step)
 
     # -- boundaries / window -------------------------------------------------
     def _apply_particle_boundaries(self) -> None:

@@ -37,7 +37,7 @@ def gauss_law_residual(
     maintain it), with the same shape order the simulation uses, and its
     guard deposits are folded along ``periodic_axes`` (default: all).
     """
-    div = np.zeros(grid.shape)
+    div = np.zeros(grid.shape, dtype=np.float64)
     for d, comp in enumerate(("Ex", "Ey", "Ez")[: grid.ndim]):
         div += diff_backward(grid.fields[comp], d, grid.dx[d])
     scratch = YeeGrid(grid.n_cells, grid.lo, grid.hi, grid.guards, grid.dtype)

@@ -13,6 +13,15 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
 
+class Stopwatch:
+    """Holder for one measured duration (filled by :meth:`Timers.stopwatch`)."""
+
+    __slots__ = ("elapsed",)
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+
+
 class Timers:
     """Named accumulating wall-clock timers."""
 
@@ -38,6 +47,25 @@ class Timers:
         """Record an externally measured duration."""
         self.totals[name] = self.totals.get(name, 0.0) + seconds
         self.counts[name] = self.counts.get(name, 0) + 1
+
+    @contextmanager
+    def stopwatch(self, name: str = "") -> Iterator["Stopwatch"]:
+        """Time a block and hand the caller the measured duration.
+
+        Unlike :meth:`timer`, the elapsed time is also returned (via the
+        yielded :class:`Stopwatch`) so callers that feed measurements
+        onward — e.g. the load balancer's per-box cost model — never
+        touch the clock directly.  With a ``name`` the duration is
+        additionally accumulated like :meth:`add`.
+        """
+        sw = Stopwatch()
+        start = time.perf_counter()
+        try:
+            yield sw
+        finally:
+            sw.elapsed = time.perf_counter() - start
+            if name:
+                self.add(name, sw.elapsed)
 
     def lap(self) -> float:
         """Close the current per-step lap and append it to the history."""

@@ -30,3 +30,24 @@ class CommunicationError(ReproError):
 
 class DiagnosticError(ReproError):
     """A diagnostic was asked for data that does not exist."""
+
+
+class ProtocolError(CommunicationError):
+    """The post-hoc communication-protocol checker found violations.
+
+    Raised by :mod:`repro.analysis.commcheck` when a finished run left
+    unreceived messages, mismatched tags, or diverging collective counts.
+    """
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant sanitizer tripped (non-finite field,
+    out-of-domain particle, corrupted guard cells).
+
+    Carries enough context (step, field/species name) to localize the
+    failure; see :mod:`repro.analysis.sanitize`.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis driver itself was misused (bad path, bad rule id)."""

@@ -129,7 +129,7 @@ class PMLMaxwellSolver:
                         grid, axis, STAGGER[comp][axis], self.n_pml, order, r0, sides
                     )
                 else:
-                    sig1d = np.zeros(grid.shape[axis])
+                    sig1d = np.zeros(grid.shape[axis], dtype=np.float64)
                 shape = [1] * grid.ndim
                 shape[axis] = grid.shape[axis]
                 self._sigma[key] = sig1d.reshape(shape)

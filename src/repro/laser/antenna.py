@@ -42,7 +42,7 @@ class LaserAntenna:
     def _transverse_distance(self, grid: YeeGrid, component: str):
         """Distance from the beam axis for every transverse sample point."""
         if grid.ndim == 1:
-            return np.zeros(1)
+            return np.zeros(1, dtype=np.float64)
         if grid.ndim == 2:
             y = (
                 np.arange(grid.shape[1], dtype=np.float64)

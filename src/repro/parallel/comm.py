@@ -5,16 +5,45 @@ buffers, but every send is *recorded* — source, destination, byte count,
 tag — so the performance model can run on the code's true communication
 volumes rather than estimates.  The interface deliberately mirrors the
 mpi4py buffer idiom (send counted in bytes, collectives as explicit calls).
+
+Beyond the aggregate counters, every operation appends a
+:class:`CommEvent` to :attr:`SimComm.log`; the post-hoc protocol checker
+(:mod:`repro.analysis.commcheck`) replays that log to detect unreceived
+messages, tag mismatches, self-sends and collective divergence.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import CommunicationError
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded communicator operation.
+
+    ``kind`` is one of ``"send"``, ``"recv"``, ``"recv_missing"`` (a recv
+    that found no matching message, recorded before the error is raised),
+    ``"collective"`` or ``"barrier"``.  For collectives and barriers
+    ``src`` is the participating rank and ``dst`` is ``-1``.
+    """
+
+    seq: int
+    kind: str
+    src: int
+    dst: int
+    tag: str
+    nbytes: int
+
+
+def _msg_context(op: str, src: int, dst: int, tag: str) -> str:
+    """The one message-context format shared by runtime errors and commcheck."""
+    return f"{op}: src={src} dst={dst} tag={tag!r}"
 
 
 class SimComm:
@@ -33,7 +62,7 @@ class SimComm:
 
     def __init__(self, n_ranks: int, device_buffer_bytes: Optional[int] = None) -> None:
         if n_ranks < 1:
-            raise CommunicationError("need at least one rank")
+            raise CommunicationError(f"need at least one rank, got {n_ranks}")
         self.n_ranks = int(n_ranks)
         self._queues: Dict[Tuple[int, int, str], List[Any]] = defaultdict(list)
         # accounting
@@ -42,17 +71,27 @@ class SimComm:
         self.pair_bytes: Dict[Tuple[int, int], int] = defaultdict(int)
         self.collective_calls = 0
         self.barrier_calls = 0
+        # event log replayed by repro.analysis.commcheck
+        self.log: List[CommEvent] = []
+        self._seq = 0
         # pinned-memory fall-back accounting
         self.device_buffer_bytes = device_buffer_bytes
         self._buffer_in_use = np.zeros(self.n_ranks, dtype=np.int64)
         self.spilled_messages = 0
         self.spilled_bytes = 0
 
-    def _check_rank(self, rank: int) -> None:
+    def _check_rank(self, rank: int, role: str, op: str) -> None:
         if not (0 <= rank < self.n_ranks):
+            noun = f"{role} rank" if role else "rank"
             raise CommunicationError(
-                f"rank {rank} out of range [0, {self.n_ranks})"
+                f"{op}: {noun} {rank} out of range [0, {self.n_ranks})"
             )
+
+    def _record(
+        self, kind: str, src: int, dst: int, tag: str, nbytes: int
+    ) -> None:
+        self.log.append(CommEvent(self._seq, kind, src, dst, tag, nbytes))
+        self._seq += 1
 
     def send(self, src: int, dst: int, payload: Any, tag: str = "") -> None:
         """Enqueue ``payload`` from ``src`` to ``dst`` and account its size.
@@ -60,8 +99,8 @@ class SimComm:
         With a finite device buffer, the payload occupies buffer space on
         the sender until received; overflow spills to pinned memory.
         """
-        self._check_rank(src)
-        self._check_rank(dst)
+        self._check_rank(src, "src", "send")
+        self._check_rank(dst, "dst", "send")
         nbytes = payload_nbytes(payload)
         self.bytes_sent[src] += nbytes
         self.messages_sent[src] += 1
@@ -72,39 +111,75 @@ class SimComm:
                 self.spilled_bytes += nbytes
             else:
                 self._buffer_in_use[src] += nbytes
+        self._record("send", src, dst, tag, nbytes)
         self._queues[(src, dst, tag)].append((src, nbytes, payload))
 
     def recv(self, src: int, dst: int, tag: str = "") -> Any:
         """Dequeue the oldest matching message (releases its buffer space)."""
-        self._check_rank(src)
-        self._check_rank(dst)
+        self._check_rank(src, "src", "recv")
+        self._check_rank(dst, "dst", "recv")
         queue = self._queues.get((src, dst, tag))
         if not queue:
+            self._record("recv_missing", src, dst, tag, 0)
+            pending_tags = sorted(
+                t for (s, d, t), q in self._queues.items()
+                if s == src and d == dst and q
+            )
+            hint = (
+                f" (pending tags for this pair: {pending_tags})"
+                if pending_tags
+                else ""
+            )
             raise CommunicationError(
-                f"no message from {src} to {dst} with tag {tag!r}"
+                f"no message {_msg_context('recv', src, dst, tag)}{hint}"
             )
         sender, nbytes, payload = queue.pop(0)
         if self.device_buffer_bytes is not None:
             self._buffer_in_use[sender] = max(
                 self._buffer_in_use[sender] - nbytes, 0
             )
+        self._record("recv", src, dst, tag, nbytes)
         return payload
 
     def pending(self) -> int:
         """Number of undelivered messages (should be 0 between phases)."""
         return sum(len(q) for q in self._queues.values())
 
-    def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
-        """Model an allreduce: account ~2 log2(P) message rounds per rank."""
+    def allreduce_sum(
+        self, values: np.ndarray, rank: Optional[int] = None
+    ) -> np.ndarray:
+        """Model an allreduce: account ~2 log2(P) message rounds per rank.
+
+        ``rank=None`` models the whole collective at once (every rank
+        participates); passing a rank records that rank's participation
+        only, letting tests and the protocol checker model divergence
+        (some ranks reaching the collective, others not).
+        """
+        if rank is not None:
+            self._check_rank(rank, "", "allreduce_sum")
         self.collective_calls += 1
         nbytes = payload_nbytes(values)
         rounds = max(int(np.ceil(np.log2(max(self.n_ranks, 2)))), 1)
-        self.bytes_sent += nbytes * rounds
-        self.messages_sent += rounds
+        if rank is None:
+            self.bytes_sent += nbytes * rounds
+            self.messages_sent += rounds
+            for r in range(self.n_ranks):
+                self._record("collective", r, -1, "allreduce_sum", nbytes)
+        else:
+            self.bytes_sent[rank] += nbytes * rounds
+            self.messages_sent[rank] += rounds
+            self._record("collective", rank, -1, "allreduce_sum", nbytes)
         return values
 
-    def barrier(self) -> None:
+    def barrier(self, rank: Optional[int] = None) -> None:
+        """Record a barrier; per-rank participation mirrors allreduce_sum."""
         self.barrier_calls += 1
+        if rank is None:
+            for r in range(self.n_ranks):
+                self._record("barrier", r, -1, "barrier", 0)
+        else:
+            self._check_rank(rank, "", "barrier")
+            self._record("barrier", rank, -1, "barrier", 0)
 
     # -- reporting ---------------------------------------------------------
     def total_bytes(self) -> int:
@@ -117,11 +192,17 @@ class SimComm:
         return max(self.pair_bytes.values(), default=0)
 
     def reset_counters(self) -> None:
+        """Zero the aggregate counters (the event log is kept: it is the
+        audit trail the protocol checker replays)."""
         self.bytes_sent[:] = 0
         self.messages_sent[:] = 0
         self.pair_bytes.clear()
         self.collective_calls = 0
         self.barrier_calls = 0
+
+    def clear_log(self) -> None:
+        """Drop the recorded event history (e.g. between benchmark phases)."""
+        self.log.clear()
 
 
 def payload_nbytes(payload: Any) -> int:

@@ -18,11 +18,11 @@ paper's weak/strong scaling benchmarks).
 
 from __future__ import annotations
 
-import time as _time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitize import Sanitizer
 from repro.constants import c
 from repro.core.costs import CostModel
 from repro.core.simulation import smooth_binomial
@@ -130,6 +130,8 @@ class DistributedSimulation:
         self.lb_threshold = float(lb_threshold)
         self.cost_model = CostModel()
         self.lb_events: List[int] = []
+        #: opt-in runtime invariant checks (None unless REPRO_SANITIZE=1)
+        self.sanitizer: Optional[Sanitizer] = Sanitizer.from_env()
         self.time = 0.0
         self.step_count = 0
 
@@ -171,36 +173,44 @@ class DistributedSimulation:
             self._single_step()
 
     def _single_step(self) -> None:
-        ndim = self.domain.ndim
-        periodic_axes = tuple(range(ndim))
-
         with self.timers.timer("particles"):
             for i, (box, bg) in enumerate(zip(self.boxes, self.box_grids)):
                 bg.zero_sources()
-                t0 = _time.perf_counter()
-                for dsp in self.species.values():
-                    sp = dsp.per_box[i]
-                    if sp.n == 0:
-                        continue
-                    e_f, b_f = gather_fields(bg, sp.positions, self.shape_order)
-                    sp.momenta = push_boris(
-                        sp.momenta, e_f, b_f, sp.charge, sp.mass, self.dt
-                    )
-                    x_old = sp.positions
-                    sp.positions = push_positions(x_old, sp.momenta, self.dt, ndim)
-                    vel = sp.momenta * (c / lorentz_factor(sp.momenta))[:, None]
-                    deposit_current_esirkepov(
-                        bg,
-                        x_old,
-                        sp.positions,
-                        vel,
-                        sp.weights,
-                        sp.charge,
-                        self.dt,
-                        self.shape_order,
-                    )
-                self.cost_model.record_measured(i, _time.perf_counter() - t0)
+                with self.timers.stopwatch() as sw:
+                    self._push_and_deposit_box(i, bg)
+                self.cost_model.record_measured(i, sw.elapsed)
+        self._finish_step()
 
+    def _push_and_deposit_box(self, i: int, bg: YeeGrid) -> None:
+        """Gather/push/deposit every species' particles of box ``i``."""
+        ndim = self.domain.ndim
+        for dsp in self.species.values():
+            sp = dsp.per_box[i]
+            if sp.n == 0:
+                continue
+            e_f, b_f = gather_fields(bg, sp.positions, self.shape_order)
+            sp.momenta = push_boris(
+                sp.momenta, e_f, b_f, sp.charge, sp.mass, self.dt
+            )
+            x_old = sp.positions
+            sp.positions = push_positions(x_old, sp.momenta, self.dt, ndim)
+            vel = sp.momenta * (c / lorentz_factor(sp.momenta))[:, None]
+            deposit_current_esirkepov(
+                bg,
+                x_old,
+                sp.positions,
+                vel,
+                sp.weights,
+                sp.charge,
+                self.dt,
+                self.shape_order,
+            )
+
+    def _finish_step(self) -> None:
+        """Everything after the per-box particle work: fold sources,
+        advance fields, exchange halos, redistribute, balance load."""
+        ndim = self.domain.ndim
+        periodic_axes = tuple(range(ndim))
         with self.timers.timer("fold_sources"):
             fold_sources_global(
                 self.domain, self.box_grids, self.boxes, periodic_axes
@@ -267,6 +277,31 @@ class DistributedSimulation:
 
         self.time += self.dt
         self.step_count += 1
+
+        if self.sanitizer is not None:
+            with self.timers.timer("sanitize"):
+                self._run_sanitizers()
+
+    def _run_sanitizers(self) -> None:
+        """Per-step invariant checks (opt-in via ``REPRO_SANITIZE=1``)."""
+        step = self.step_count
+        san = self.sanitizer
+        san.check_fields_finite(self.domain, step, label=" (global)")
+        for axis in range(self.domain.ndim):
+            san.check_guard_consistency(self.domain, axis, step, label=" (global)")
+        for i, bg in enumerate(self.box_grids):
+            san.check_fields_finite(bg, step, label=f" (box {i})")
+        for name, dsp in self.species.items():
+            for sp in dsp.per_box:
+                if sp.n:
+                    san.check_particles_in_domain(
+                        name,
+                        sp.positions,
+                        self.domain.lo,
+                        self.domain.hi,
+                        step,
+                        where="redistribute",
+                    )
 
     # -- diagnostics -------------------------------------------------------
     def global_field_view(self, component: str) -> np.ndarray:

@@ -150,7 +150,7 @@ def account_halo_traffic(
         comm.send(
             src,
             dst,
-            np.empty(0),  # accounting only; data moved via global assembly
+            np.empty(0, dtype=np.float64),  # accounting only; data moved via global assembly
             tag="halo",
         )
         nbytes = n_samples * n_components * itemsize

@@ -271,7 +271,7 @@ def deposit_current_direct(
                 np.add.at(flat, addr, wprod)
 
 
-def deposit_current_reference(
+def deposit_current_reference(  # repro: allow(PIC001)
     grid: YeeGrid,
     positions_old: np.ndarray,
     positions_new: np.ndarray,

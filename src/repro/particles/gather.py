@@ -84,7 +84,7 @@ def gather_fields(
     return e_out, b_out
 
 
-def gather_fields_reference(
+def gather_fields_reference(  # repro: allow(PIC001)
     grid: YeeGrid, positions: np.ndarray, order: int = 1
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Scalar per-particle gather (baseline of the Sec. V.A.1 experiment).

@@ -251,7 +251,7 @@ def inject_plasma(
     cell_volume = float(np.prod(grid.dx))
     weights = dens * cell_volume / n_ppc
 
-    momenta = np.zeros((pos.shape[0], 3))
+    momenta = np.zeros((pos.shape[0], 3), dtype=np.float64)
     if temperature_uth > 0.0:
         momenta += rng.normal(0.0, temperature_uth, size=momenta.shape)
     if drift_u is not None:

@@ -168,7 +168,7 @@ class ADKIonization:
             self.states[k + 1].extend(promoted)
             self.electron_species.add_particles(
                 promoted.positions.copy(),
-                np.zeros((promoted.n, 3)),
+                np.zeros((promoted.n, 3), dtype=np.float64),
                 promoted.weights.copy(),
             )
             n_events += promoted.n

@@ -72,7 +72,7 @@ def shape_weights(x: np.ndarray, order: int) -> Tuple[np.ndarray, np.ndarray]:
     if order == 1:
         i0 = np.floor(x).astype(np.intp)
         f = x - i0
-        w = np.empty((x.size, 2))
+        w = np.empty((x.size, 2), dtype=np.float64)
         w[:, 0] = 1.0 - f
         w[:, 1] = f
         return i0, w
@@ -80,7 +80,7 @@ def shape_weights(x: np.ndarray, order: int) -> Tuple[np.ndarray, np.ndarray]:
         nearest = np.floor(x + 0.5).astype(np.intp)
         d = x - nearest
         i0 = nearest - 1
-        w = np.empty((x.size, 3))
+        w = np.empty((x.size, 3), dtype=np.float64)
         w[:, 0] = 0.5 * (0.5 - d) ** 2
         w[:, 1] = 0.75 - d**2
         w[:, 2] = 0.5 * (0.5 + d) ** 2
@@ -89,7 +89,7 @@ def shape_weights(x: np.ndarray, order: int) -> Tuple[np.ndarray, np.ndarray]:
         cell = np.floor(x).astype(np.intp)
         f = x - cell
         i0 = cell - 1
-        w = np.empty((x.size, 4))
+        w = np.empty((x.size, 4), dtype=np.float64)
         w[:, 0] = (1.0 - f) ** 3 / 6.0
         w[:, 1] = (3.0 * f**3 - 6.0 * f**2 + 4.0) / 6.0
         w[:, 2] = (-3.0 * f**3 + 3.0 * f**2 + 3.0 * f + 1.0) / 6.0

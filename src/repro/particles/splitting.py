@@ -60,7 +60,7 @@ def split_particles(
         offsets = np.concatenate([half, -half], axis=1)
         if offsets.shape[1] < n_children:  # odd child count: one stays put
             offsets = np.concatenate(
-                [offsets, np.zeros((n_par, 1, species.ndim))], axis=1
+                [offsets, np.zeros((n_par, 1, species.ndim), dtype=np.float64)], axis=1
             )
         pos = pos + offsets.reshape(-1, species.ndim)
     species.add_particles(pos, mom, w)

@@ -88,7 +88,7 @@ def build_pwfa(
     total_particles = beam_density_ratio * plasma_density * bunch_volume
     weights = np.full(n_macro, total_particles / n_macro)
     u_x = np.sqrt(beam_gamma**2 - 1.0)
-    momenta = np.zeros((n_macro, 3))
+    momenta = np.zeros((n_macro, 3), dtype=np.float64)
     momenta[:, 0] = u_x
     sim.add_species(beam)
     beam.add_particles(pos, momenta, weights)

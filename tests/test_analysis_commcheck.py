@@ -1,0 +1,137 @@
+"""Protocol-checker tests: each detector demonstrated on a 4-rank SimComm."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.commcheck import check_comm
+from repro.exceptions import CommunicationError, ProtocolError
+from repro.parallel.comm import SimComm
+
+
+def rule_ids(report):
+    return [f.rule for f in report.findings]
+
+
+def test_clean_run_reports_ok():
+    comm = SimComm(4)
+    comm.send(0, 1, np.zeros(4), tag="halo")
+    comm.recv(0, 1, tag="halo")
+    comm.allreduce_sum(np.ones(2))
+    comm.barrier()
+    report = check_comm(comm)
+    assert report.ok
+    assert report.n_ranks == 4
+    report.raise_if_failed()  # must not raise
+    assert "clean" in report.format()
+
+
+def test_unreceived_message_detected():
+    comm = SimComm(4)
+    comm.send(0, 2, np.zeros(8), tag="particles")
+    comm.send(0, 2, np.zeros(8), tag="particles")
+    report = check_comm(comm)
+    assert rule_ids(report) == ["COMM001"]
+    assert "2 unreceived message(s)" in report.findings[0].message
+    assert "src=0 dst=2 tag='particles'" in report.findings[0].message
+
+
+def test_tag_mismatch_detected():
+    comm = SimComm(4)
+    comm.send(3, 1, np.zeros(4), tag="halo")
+    with pytest.raises(CommunicationError):
+        comm.recv(3, 1, tag="particles")
+    comm.recv(3, 1, tag="halo")  # drain so only the mismatch remains
+    report = check_comm(comm)
+    assert rule_ids(report) == ["COMM002"]
+    assert "tag mismatch" in report.findings[0].message
+    assert "'halo'" in report.findings[0].message
+
+
+def test_self_send_detected():
+    comm = SimComm(4)
+    comm.send(2, 2, np.zeros(4), tag="halo")
+    comm.recv(2, 2, tag="halo")
+    report = check_comm(comm)
+    assert rule_ids(report) == ["COMM003"]
+    assert "local copy" in report.findings[0].message
+
+
+def test_collective_divergence_detected():
+    comm = SimComm(4)
+    for rank in (0, 1, 2):  # rank 3 never reaches the allreduce
+        comm.allreduce_sum(np.ones(2), rank=rank)
+    report = check_comm(comm)
+    assert rule_ids(report) == ["COMM004"]
+    assert "[1, 1, 1, 0]" in report.findings[0].message
+
+
+def test_barrier_divergence_detected():
+    comm = SimComm(4)
+    comm.barrier()  # all ranks
+    comm.barrier(rank=0)  # rank 0 hits one extra barrier
+    report = check_comm(comm)
+    assert rule_ids(report) == ["COMM005"]
+
+
+def test_uniform_per_rank_collectives_are_clean():
+    comm = SimComm(4)
+    for rank in range(4):
+        comm.allreduce_sum(np.ones(2), rank=rank)
+        comm.barrier(rank=rank)
+    assert check_comm(comm).ok
+
+
+def test_raise_if_failed_raises_protocol_error():
+    comm = SimComm(4)
+    comm.send(0, 1, np.zeros(4), tag="x")
+    report = check_comm(comm)
+    with pytest.raises(ProtocolError) as excinfo:
+        report.raise_if_failed()
+    assert "COMM001" in str(excinfo.value)
+
+
+def test_multiple_violations_reported_together():
+    comm = SimComm(4)
+    comm.send(1, 1, np.zeros(2), tag="a")  # self-send, also never received
+    comm.allreduce_sum(np.ones(1), rank=0)
+    report = check_comm(comm)
+    assert set(rule_ids(report)) == {"COMM001", "COMM003", "COMM004"}
+
+
+def test_clear_log_resets_the_audit_trail():
+    comm = SimComm(2)
+    comm.send(0, 1, np.zeros(2), tag="x")
+    assert not check_comm(comm).ok
+    comm.clear_log()
+    assert check_comm(comm).ok
+    assert check_comm(comm).n_events == 0
+
+
+# -- runtime errors carry the same context as the findings ------------------
+
+def test_recv_missing_error_names_src_dst_tag():
+    comm = SimComm(4)
+    with pytest.raises(CommunicationError) as excinfo:
+        comm.recv(0, 1, tag="halo")
+    assert "src=0 dst=1 tag='halo'" in str(excinfo.value)
+
+
+def test_recv_missing_error_hints_pending_tags():
+    comm = SimComm(4)
+    comm.send(0, 1, np.zeros(2), tag="particles")
+    with pytest.raises(CommunicationError) as excinfo:
+        comm.recv(0, 1, tag="halo")
+    assert "pending tags for this pair: ['particles']" in str(excinfo.value)
+
+
+def test_rank_range_errors_name_operation_and_role():
+    comm = SimComm(4)
+    with pytest.raises(CommunicationError) as excinfo:
+        comm.send(0, 9, np.zeros(1))
+    assert "send: dst rank 9 out of range [0, 4)" in str(excinfo.value)
+    with pytest.raises(CommunicationError) as excinfo:
+        comm.recv(-1, 0)
+    assert "recv: src rank -1 out of range [0, 4)" in str(excinfo.value)
+    with pytest.raises(CommunicationError) as excinfo:
+        comm.allreduce_sum(np.zeros(1), rank=4)
+    assert "allreduce_sum: rank 4 out of range [0, 4)" in str(excinfo.value)

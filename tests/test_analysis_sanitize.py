@@ -1,0 +1,201 @@
+"""Runtime sanitizer tests: env gating, the three invariants as unit
+checks, and end-to-end trips inside real simulation runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import Sanitizer
+from repro.constants import m_e, plasma_wavelength, q_e
+from repro.core.mr_simulation import MRSimulation
+from repro.core.simulation import Simulation
+from repro.exceptions import ReproError, SanitizerError
+from repro.grid.boundary import apply_periodic
+from repro.grid.yee import YeeGrid
+from repro.particles.injection import UniformProfile
+from repro.particles.species import Species
+
+
+# -- env gating --------------------------------------------------------------
+
+@pytest.mark.parametrize("value", ["", "0", "false", "off", "no", "OFF"])
+def test_from_env_disabled_values(value):
+    assert Sanitizer.from_env({"REPRO_SANITIZE": value}) is None
+
+
+def test_from_env_unset_is_disabled():
+    assert Sanitizer.from_env({}) is None
+
+
+@pytest.mark.parametrize("value", ["1", "true", "on", "yes"])
+def test_from_env_enabled_values(value):
+    assert isinstance(Sanitizer.from_env({"REPRO_SANITIZE": value}), Sanitizer)
+
+
+def test_simulation_picks_up_env(monkeypatch):
+    g = YeeGrid((16,), (0.0,), (1.0,), guards=4)
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert Simulation(g).sanitizer is None
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert isinstance(Simulation(g).sanitizer, Sanitizer)
+
+
+def test_sanitizer_error_is_repro_error():
+    assert issubclass(SanitizerError, ReproError)
+
+
+# -- SAN001: finite fields ---------------------------------------------------
+
+def test_san001_passes_on_finite_grid():
+    g = YeeGrid((8, 8), (0.0, 0.0), (1.0, 1.0), guards=2)
+    Sanitizer().check_fields_finite(g, step=0)
+
+
+def test_san001_names_step_and_field():
+    g = YeeGrid((8, 8), (0.0, 0.0), (1.0, 1.0), guards=2)
+    g.fields["By"][4, 4] = np.inf
+    with pytest.raises(SanitizerError) as excinfo:
+        Sanitizer().check_fields_finite(g, step=7)
+    msg = str(excinfo.value)
+    assert "SAN001" in msg and "step 7" in msg and "By" in msg
+
+
+# -- SAN002: particles in domain ---------------------------------------------
+
+def test_san002_accepts_interior_and_boundary_particles():
+    pos = np.array([[0.0], [0.5], [1.0]])  # hi is inclusive (periodic wrap)
+    Sanitizer().check_particles_in_domain("e", pos, (0.0,), (1.0,), step=0)
+
+
+def test_san002_names_species_axis_and_count():
+    pos = np.array([[0.5, 0.5], [0.5, 1.5], [0.5, -0.2]])
+    with pytest.raises(SanitizerError) as excinfo:
+        Sanitizer().check_particles_in_domain(
+            "ions", pos, (0.0, 0.0), (1.0, 1.0), step=3
+        )
+    msg = str(excinfo.value)
+    assert "SAN002" in msg and "step 3" in msg
+    assert "'ions'" in msg and "axis 1" in msg and "2 particle(s)" in msg
+
+
+# -- SAN003: guard-cell write discipline -------------------------------------
+
+def guarded_periodic_grid():
+    g = YeeGrid((16,), (0.0,), (1.0,), guards=4)
+    rng = np.random.default_rng(0)
+    for comp in g.fields:
+        g.fields[comp][:] = rng.normal(size=g.fields[comp].shape)
+    apply_periodic(g, axis=0)
+    return g
+
+
+def test_san003_passes_after_periodic_exchange():
+    g = guarded_periodic_grid()
+    Sanitizer().check_guard_consistency(g, axis=0, step=0)
+
+
+def test_san003_catches_guard_scribble():
+    g = guarded_periodic_grid()
+    g.fields["Ez"][0] += 1.0  # a kernel wrote into a low guard cell
+    with pytest.raises(SanitizerError) as excinfo:
+        Sanitizer().check_guard_consistency(g, axis=0, step=5)
+    msg = str(excinfo.value)
+    assert "SAN003" in msg and "step 5" in msg and "Ez" in msg
+
+
+# -- end-to-end: sanitizers trip inside real runs ----------------------------
+
+def langmuir_sim(n_cells=32, ppc=4):
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    g = YeeGrid((n_cells,), (0.0,), (length,), guards=4)
+    sim = Simulation(g, shape_order=2, boundaries="periodic")
+    e = Species("electrons", charge=-q_e, mass=m_e, ndim=1)
+    sim.add_species(e, profile=UniformProfile(n0), ppc=ppc)
+    return sim
+
+
+def test_nan_injected_into_ex_midrun_raises_with_step_and_field(monkeypatch):
+    """The ISSUE's canonical scenario: a NaN planted in Ex at step 3 of a
+    live run must surface as a SanitizerError naming the step and field."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = langmuir_sim()
+    assert sim.sanitizer is not None
+
+    def inject(s):
+        if s.step_count == 3:  # callbacks run after the counter increments
+            s.grid.fields["Ex"][10] = np.nan
+
+    sim.callbacks.append(inject)
+    sim.step(2)
+    with pytest.raises(SanitizerError) as excinfo:
+        sim.step()
+    msg = str(excinfo.value)
+    assert "SAN001" in msg and "step 3" in msg and "Ex" in msg
+
+
+def test_escaped_particle_midrun_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = langmuir_sim()
+    electrons = sim.entries["electrons"].species
+
+    def eject(s):
+        if s.step_count == 1:
+            electrons.positions[0, 0] = s.grid.hi[0] + 10.0
+
+    sim.callbacks.append(eject)
+    with pytest.raises(SanitizerError) as excinfo:
+        sim.step(3)
+    msg = str(excinfo.value)
+    assert "SAN002" in msg and "'electrons'" in msg
+
+
+def test_guard_scribble_midrun_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sim = langmuir_sim()
+
+    def scribble(s):
+        if s.step_count == 1:
+            s.grid.fields["Ey"][0] += 1.0  # low guard, after the exchange
+
+    sim.callbacks.append(scribble)
+    with pytest.raises(SanitizerError) as excinfo:
+        sim.step(3)
+    assert "SAN003" in str(excinfo.value)
+
+
+def test_disabled_sanitizer_lets_nan_through(monkeypatch):
+    """Without REPRO_SANITIZE the checks really are off: the NaN survives
+    the injection step unchallenged and only surfaces later as a raw
+    ValueError deep inside the deposition kernel — exactly the
+    hard-to-diagnose failure the sanitizer exists to front-run."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    sim = langmuir_sim()
+    assert sim.sanitizer is None
+    sim.step(2)
+    sim.grid.fields["Ex"][10] = np.nan
+    with pytest.raises(ValueError) as excinfo:
+        sim.step(2)  # gathered NaN poisons the push, deposit blows up
+    assert not isinstance(excinfo.value, SanitizerError)
+
+
+def test_mr_simulation_checks_patch_fields(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    g = YeeGrid((32,), (0.0,), (length,), guards=4)
+    from repro.grid.maxwell import cfl_dt
+
+    sim = MRSimulation(g, dt=cfl_dt((length / 64,), 0.9), shape_order=2)
+    e = Species("electrons", charge=-q_e, mass=m_e, ndim=1)
+    sim.add_species(e, profile=UniformProfile(n0), ppc=4)
+    sim.add_patch((8,), (24,), ratio=2)
+    sim.step(2)
+
+    def poison(s):
+        s.patches[0].fine.fields["Bz"][5] = np.inf
+
+    sim.callbacks.append(poison)
+    with pytest.raises(SanitizerError) as excinfo:
+        sim.step()
+    msg = str(excinfo.value)
+    assert "SAN001" in msg and "Bz" in msg and "patch 0" in msg and "fine" in msg

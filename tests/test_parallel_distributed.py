@@ -5,6 +5,7 @@ between boxes correctly, and communication/LB accounting is populated."""
 import numpy as np
 import pytest
 
+from repro.analysis.commcheck import check_comm
 from repro.constants import m_e, plasma_wavelength, q_e
 from repro.core.simulation import Simulation
 from repro.grid.yee import YeeGrid
@@ -112,6 +113,8 @@ def test_distributed_matches_monolithic():
     assert merged.kinetic_energy() == pytest.approx(
         e_mono.kinetic_energy(), rel=1e-9
     )
+    # the whole run's message traffic obeys the protocol
+    check_comm(dist.comm).raise_if_failed()
 
 
 def test_distributed_comm_accounting_populates():
@@ -128,6 +131,10 @@ def test_distributed_comm_accounting_populates():
     # halo traffic between distinct ranks only
     for (src, dst), nbytes in dist.comm.pair_bytes.items():
         assert src != dst
+    # and the recorded event log passes the protocol checker
+    report = check_comm(dist.comm)
+    assert report.ok, report.format()
+    assert report.n_events > 0
 
 
 def test_dynamic_lb_triggers_on_imbalance():
