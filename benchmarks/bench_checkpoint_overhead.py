@@ -1,0 +1,117 @@
+"""Checkpoint overhead vs interval for the distributed resilience layer.
+
+Long campaigns trade two costs: checkpointing too often wastes step time,
+too rarely wastes replay time after a failure.  This bench measures the
+real per-step and per-checkpoint cost of the distributed simulation (disk
+and in-memory restore points), reports the overhead fraction at several
+intervals, and evaluates Young's approximation for the optimal interval,
+``T_opt = sqrt(2 * t_ckpt * MTBF)``, at a few assumed failure rates —
+the row EXPERIMENTS.md tracks.
+
+Run:  pytest benchmarks/bench_checkpoint_overhead.py --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import m_e, plasma_wavelength, q_e
+from repro.diagnostics.io import (
+    pack_distributed_state,
+    save_distributed_checkpoint,
+)
+from repro.parallel.distributed import DistributedSimulation
+from repro.particles.injection import UniformProfile
+from repro.particles.species import Species
+
+INTERVALS = (1, 3, 10, 30)
+
+
+def build():
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    sim = DistributedSimulation(
+        (32, 32), (0.0, 0.0), (length, length), n_ranks=4, max_grid_size=16,
+    )
+    e = Species("electrons", charge=-q_e, mass=m_e, ndim=2)
+    sim.add_species(
+        e, profile=UniformProfile(n0), ppc=(2, 2), temperature_uth=0.05,
+        rng_seed=3,
+    )
+    sim.step(2)  # warm caches, populate measured costs
+    return sim
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return build()
+
+
+def test_bench_step(benchmark, sim):
+    benchmark(sim.step, 1)
+
+
+def test_bench_checkpoint_memory(benchmark, sim):
+    def snapshot():
+        return {
+            k: np.array(v, copy=True)
+            for k, v in pack_distributed_state(sim).items()
+        }
+
+    state = benchmark(snapshot)
+    assert "meta/step_count" in state
+
+
+def test_bench_checkpoint_disk(benchmark, sim, tmp_path):
+    benchmark(save_distributed_checkpoint, sim, str(tmp_path / "ckpt"))
+
+
+def test_overhead_vs_interval_table(table, sim, tmp_path):
+    """The EXPERIMENTS.md row: overhead fraction per checkpoint interval."""
+    import timeit
+
+    t_step = timeit.timeit(lambda: sim.step(1), number=5) / 5
+    t_mem = timeit.timeit(
+        lambda: {
+            k: np.array(v, copy=True)
+            for k, v in pack_distributed_state(sim).items()
+        },
+        number=5,
+    ) / 5
+    t_disk = timeit.timeit(
+        lambda: save_distributed_checkpoint(sim, str(tmp_path / "ckpt")),
+        number=5,
+    ) / 5
+
+    rows = []
+    for interval in INTERVALS:
+        rows.append(
+            (
+                interval,
+                f"{100.0 * t_mem / (interval * t_step):.2f}%",
+                f"{100.0 * t_disk / (interval * t_step):.2f}%",
+            )
+        )
+    table(
+        "checkpoint overhead vs interval "
+        f"(t_step={t_step * 1e3:.2f} ms, t_mem={t_mem * 1e3:.2f} ms, "
+        f"t_disk={t_disk * 1e3:.2f} ms)",
+        ("interval [steps]", "in-memory overhead", "on-disk overhead"),
+        rows,
+    )
+
+    # Young's approximation: optimal interval between checkpoints for an
+    # assumed mean time between failures (expressed here in steps)
+    young_rows = []
+    for mtbf_steps in (1e2, 1e4, 1e6):
+        t_opt = np.sqrt(2.0 * t_disk * mtbf_steps * t_step)
+        young_rows.append(
+            (f"{mtbf_steps:.0e}", f"{t_opt / t_step:.1f}")
+        )
+    table(
+        "Young's optimal checkpoint interval, T_opt = sqrt(2 t_ckpt MTBF)",
+        ("MTBF [steps]", "T_opt [steps]"),
+        young_rows,
+    )
+    # sanity: overhead decreases monotonically with the interval
+    overheads = [t_disk / (i * t_step) for i in INTERVALS]
+    assert overheads == sorted(overheads, reverse=True)

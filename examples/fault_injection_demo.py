@@ -1,0 +1,103 @@
+"""The resilience substrate in action: faults injected, faults survived.
+
+Runs the same distributed Langmuir oscillation twice — fault-free, and
+under a canned :class:`FaultSchedule` that drops, duplicates, corrupts
+and delays messages and then kills a rank outright — and shows:
+
+* every message fault is repaired by the resilient transport (retries,
+  dedups, redeliveries, all accounted),
+* the rank failure is recovered by restore_and_redistribute from the
+  last checkpoint,
+* the final physics is bit-identical to the fault-free run,
+* the commcheck replay confirms no fault went unrecovered.
+
+Run:  python examples/fault_injection_demo.py
+(CI runs it with REPRO_SANITIZE=1: the step sanitizers stay silent even
+under injection, because recovery completes within the faulted step.)
+"""
+
+import numpy as np
+
+from repro.analysis.commcheck import check_comm
+from repro.constants import m_e, plasma_wavelength, q_e
+from repro.parallel.distributed import DistributedSimulation
+from repro.particles.injection import UniformProfile
+from repro.particles.species import Species
+from repro.resilience import FaultSchedule, FaultSpec, RecoveryPolicy
+
+
+def build(schedule=None, policy=None, interval=0):
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    sim = DistributedSimulation(
+        (16, 16), (0.0, 0.0), (length, length), n_ranks=4, max_grid_size=8,
+        fault_schedule=schedule, recovery=policy,
+        checkpoint_interval=interval,
+    )
+    e = Species("electrons", charge=-q_e, mass=m_e, ndim=2)
+    k = 2 * np.pi / length
+
+    def perturb(sp):
+        sp.momenta[:, 0] += 1e-3 * np.sin(k * sp.positions[:, 0])
+
+    sim.add_species(
+        e, profile=UniformProfile(n0), ppc=(2, 2), momentum_init=perturb,
+        temperature_uth=0.05, rng_seed=7,
+    )
+    return sim
+
+
+def main() -> None:
+    steps = 12
+
+    clean = build()
+    clean.step(steps)
+    e_clean = clean.field_energy()
+
+    schedule = FaultSchedule(
+        [
+            FaultSpec(kind="drop", step=2),
+            FaultSpec(kind="duplicate", step=3),
+            FaultSpec(kind="corrupt", step=4, tag="particles"),
+            FaultSpec(kind="delay", step=5, delay=2),
+            FaultSpec(kind="rank_failure", step=7, rank=1),
+        ],
+        seed=42,
+    )
+    policy = RecoveryPolicy()
+    sim = build(schedule, policy, interval=3)
+    sim.step(steps)
+
+    print(f"fault schedule: {len(schedule)} faults, "
+          f"{len(schedule.fired())} fired")
+    for spec in schedule.specs:
+        target = f"rank {spec.rank}" if spec.rank is not None else (
+            spec.tag or "any tag")
+        print(f"  step {spec.step}: {spec.kind:<12} ({target}) "
+              f"{'fired' if spec.fired else 'armed'}")
+
+    s = policy.stats
+    print("\nrecovery actions:")
+    print(f"  retransmissions : {s.retries}")
+    print(f"  redeliveries    : {s.redeliveries}")
+    print(f"  dedups          : {s.dedups}")
+    print(f"  restores        : {s.restores} "
+          f"({s.restored_bytes:.3e} bytes re-read)")
+    print(f"  modelled backoff: {s.backoff_time:.2e} s")
+
+    print(f"\ndead ranks: {sorted(sim.dead_ranks)} "
+          f"(their boxes evacuated to the survivors)")
+    e_faulty = sim.field_energy()
+    diff = abs(e_faulty - e_clean)
+    print(f"field energy fault-free : {e_clean:.15e} J")
+    print(f"field energy recovered  : {e_faulty:.15e} J")
+    print(f"difference              : {diff:.1e}  (bit-identical)")
+    assert diff == 0.0, "recovered run diverged from fault-free run"
+
+    report = check_comm(sim.comm)
+    print(f"\ncommcheck replay: {report.format()}")
+    report.raise_if_failed()
+
+
+if __name__ == "__main__":
+    main()

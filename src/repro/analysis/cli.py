@@ -57,10 +57,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: runtime/replay rules that live outside the static linter: the
+#: commcheck protocol replay (COMM/RES) and the step sanitizers (SAN)
+RUNTIME_RULES = (
+    ("COMM001", "unreceived messages (send without a matching recv)"),
+    ("COMM002", "tag mismatch on a failed recv"),
+    ("COMM003", "self-send (src == dst)"),
+    ("COMM004", "collective-count divergence across ranks"),
+    ("COMM005", "barrier-count divergence across ranks"),
+    ("RES001", "injected message fault without a matching recovery"),
+    ("RES002", "rank failure without a checkpoint restore"),
+    ("SAN001", "non-finite field values after the solve"),
+    ("SAN002", "particles outside the domain after boundaries"),
+    ("SAN003", "guard cells diverge from their periodic image"),
+    ("SAN004", "communicator not quiescent between steps"),
+)
+
+
 def _print_rules(stream) -> None:
     for rule in registered_rules():
         print(f"{rule.rule_id}  [{rule.severity}]  {rule.description}",
               file=stream)
+    for rule_id, description in RUNTIME_RULES:
+        kind = "replay" if rule_id[:3] in ("COM", "RES") else "runtime"
+        print(f"{rule_id}  [{kind}]  {description}", file=stream)
 
 
 def render_report(findings: Sequence[Finding], quiet: bool, stream) -> None:

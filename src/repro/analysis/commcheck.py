@@ -13,6 +13,10 @@ COMM003  self-send (src == dst; should be a local copy, and would
 COMM004  collective-count divergence across ranks (some ranks reached an
          allreduce that others never did — a guaranteed deadlock)
 COMM005  barrier-count divergence across ranks
+RES001   unrecovered message fault (an injected drop/duplicate/corrupt/
+         delay event with no matching recovery action later in the log)
+RES002   unrecovered rank failure (a ``rank_fail`` event with no
+         subsequent checkpoint-restore for that rank)
 ======   =================================================================
 
 Use :func:`check_comm` for a report, or
@@ -122,6 +126,68 @@ def _check_divergence(comm: "SimComm", kind: str, rule: str) -> List[Finding]:
     ]
 
 
+#: which recovery action repairs which injected fault (RES001 pairing)
+_FAULT_RECOVERY = {
+    "fault_drop": "recover_retry",
+    "fault_corrupt": "recover_retry",
+    "fault_duplicate": "recover_dedup",
+    "fault_delay": "recover_redeliver",
+}
+
+
+def _check_resilience(comm: "SimComm") -> List[Finding]:
+    """RES001/RES002: every fault event must be followed by its recovery.
+
+    Fault and recovery events are matched FIFO per (src, dst, tag) and
+    per required recovery kind — a retransmission repairs the *oldest*
+    outstanding drop/corruption on that channel, mirroring the FIFO
+    queues of the transport itself.  Rank failures pair with
+    checkpoint-restore events per rank.
+    """
+    findings: List[Finding] = []
+    outstanding: Dict[Tuple[Tuple[int, int, str], str], List[Tuple[int, str]]] = (
+        defaultdict(list)
+    )
+    failed_ranks: Dict[int, List[int]] = defaultdict(list)
+    for ev in comm.log:
+        key = (ev.src, ev.dst, ev.tag)
+        if ev.kind in _FAULT_RECOVERY:
+            outstanding[(key, _FAULT_RECOVERY[ev.kind])].append(
+                (ev.seq, ev.kind)
+            )
+        elif ev.kind in ("recover_retry", "recover_dedup", "recover_redeliver"):
+            pending = outstanding.get((key, ev.kind))
+            if pending:
+                pending.pop(0)
+        elif ev.kind == "rank_fail":
+            failed_ranks[ev.src].append(ev.seq)
+        elif ev.kind == "recover_restore":
+            if failed_ranks.get(ev.src):
+                failed_ranks[ev.src].pop(0)
+    for ((src, dst, tag), needed), events in sorted(outstanding.items()):
+        for seq, fault_kind in events:
+            findings.append(
+                _finding(
+                    "RES001",
+                    seq,
+                    f"injected {fault_kind.removeprefix('fault_')} "
+                    f"({_msg_context('send', src, dst, tag)}) was never "
+                    f"recovered (no matching {needed!r} event)",
+                )
+            )
+    for rank, seqs in sorted(failed_ranks.items()):
+        for seq in seqs:
+            findings.append(
+                _finding(
+                    "RES002",
+                    seq,
+                    f"rank {rank} failed and was never restored from a "
+                    "checkpoint (no recover_restore event)",
+                )
+            )
+    return findings
+
+
 @dataclass
 class ProtocolReport:
     """Outcome of one protocol check: findings plus a little context."""
@@ -159,6 +225,7 @@ def check_comm(comm: "SimComm") -> ProtocolReport:
     findings += _check_point_to_point(comm)
     findings += _check_divergence(comm, "collective", "COMM004")
     findings += _check_divergence(comm, "barrier", "COMM005")
+    findings += _check_resilience(comm)
     return ProtocolReport(
         findings=sort_findings(findings),
         n_events=len(comm.log),

@@ -1,6 +1,6 @@
 """Runtime invariant sanitizers for the PIC step (opt-in, ``REPRO_SANITIZE=1``).
 
-Three invariants the paper's production runs rely on, checked live:
+Invariants the paper's production runs rely on, checked live:
 
 ======  ==================================================================
 SAN001  fields stay finite after every solve (no silent NaN/Inf
@@ -10,6 +10,9 @@ SAN002  particles stay inside the domain after push + boundaries /
 SAN003  guard cells on periodic axes hold the exact periodic image of
         the valid data after the halo/boundary exchange (guard-cell
         write discipline: nothing scribbled outside its valid region)
+SAN004  the communicator is quiescent between steps: no undelivered
+        messages and no unrecovered in-flight faults (lost or delayed
+        messages left over by the resilient transport)
 ======  ==================================================================
 
 Violations raise :class:`~repro.exceptions.SanitizerError` with the step
@@ -159,6 +162,30 @@ class Sanitizer:
                         f"({what} differ from their periodic image in "
                         f"{n_bad} sample(s))"
                     )
+
+    # -- SAN004 ------------------------------------------------------------
+    def check_comm_quiescent(self, comm, step: int) -> None:
+        """Raise unless the communicator is drained between steps.
+
+        Every message sent during a step must have been received by its
+        end, and — under fault injection — no lost or delayed message may
+        still be in flight: an unrecovered fault crossing a step boundary
+        is exactly the silent-wrong-answer mode the resilience layer
+        exists to rule out.
+        """
+        pending = comm.pending()
+        if pending:
+            raise SanitizerError(
+                f"SAN004 step {step}: {pending} undelivered message(s) in "
+                "the communicator at end of step"
+            )
+        lost = sum(len(v) for v in getattr(comm, "_lost", {}).values())
+        delayed = sum(len(v) for v in getattr(comm, "_delayed", {}).values())
+        if lost or delayed:
+            raise SanitizerError(
+                f"SAN004 step {step}: unrecovered in-flight fault(s) at end "
+                f"of step ({lost} lost, {delayed} delayed message(s))"
+            )
 
     # -- convenience -------------------------------------------------------
     def check_species_map(

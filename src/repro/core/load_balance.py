@@ -126,3 +126,39 @@ def should_rebalance(
 ) -> bool:
     """The dynamic-LB trigger: rebalance when max/mean exceeds ``threshold``."""
     return current_imbalance > threshold
+
+
+def evacuate_boxes(
+    costs: Sequence[float],
+    assignment: np.ndarray,
+    dead_rank: int,
+    alive_ranks: Sequence[int],
+) -> np.ndarray:
+    """Reassign the boxes of a failed rank to the surviving ranks.
+
+    The recovery-time load balancer of ``restore_and_redistribute``:
+    every box currently on ``dead_rank`` goes — in decreasing cost order
+    — to the least-loaded survivor, and every other box keeps its rank
+    (minimal data motion, the same reasoning as the paper's incremental
+    dynamic LB).  Returns the new assignment array.
+    """
+    costs = _validate(costs, max(int(np.max(assignment)) + 1, len(alive_ranks)))
+    alive = [int(r) for r in alive_ranks]
+    if not alive:
+        raise DecompositionError("no surviving ranks to evacuate to")
+    if dead_rank in alive:
+        raise DecompositionError(
+            f"dead rank {dead_rank} cannot be in the surviving set"
+        )
+    assignment = np.asarray(assignment, dtype=np.intp).copy()
+    heap = []
+    for r in alive:
+        load = float(costs[assignment == r].sum())
+        heap.append((load, r))
+    heapq.heapify(heap)
+    orphans = np.flatnonzero(assignment == dead_rank)
+    for i in orphans[np.argsort(costs[orphans])[::-1]]:
+        load, rank = heapq.heappop(heap)
+        assignment[i] = rank
+        heapq.heappush(heap, (load + costs[i], rank))
+    return assignment

@@ -180,6 +180,9 @@ class Simulation:
         self.entries: Dict[str, SpeciesEntry] = {}
         self.antennas: List[LaserAntenna] = []
         self.moving_window: Optional[MovingWindow] = None
+        #: window (pending, cells_shifted) parked by a checkpoint restore
+        #: that ran before the window was attached
+        self._deferred_window_state: Optional[Tuple[float, int]] = None
         self.time = 0.0
         self.step_count = 0
         #: opt-in runtime invariant checks (None unless REPRO_SANITIZE=1)
@@ -234,6 +237,11 @@ class Simulation:
                 "(use 'damped' or 'open'); split PML state cannot be shifted"
             )
         self.moving_window = window
+        if self._deferred_window_state is not None:
+            # a checkpoint restored before the window existed parked the
+            # window phase here; apply it so the restart is still exact
+            window.pending, window.cells_shifted = self._deferred_window_state
+            self._deferred_window_state = None
 
     # -- hooks overridden by the MR simulation ------------------------------
     def _gather(self, species: Species) -> Tuple[np.ndarray, np.ndarray]:

@@ -51,3 +51,14 @@ class SanitizerError(ReproError):
 
 class AnalysisError(ReproError):
     """The static-analysis driver itself was misused (bad path, bad rule id)."""
+
+
+class ResilienceError(ReproError):
+    """A fault could not be recovered.
+
+    Raised by the resilience layer (:mod:`repro.resilience`) when an
+    injected or detected fault — lost/corrupted message, failed rank —
+    cannot be repaired under the active recovery policy: the run must
+    stop with a typed error rather than continue to a silent wrong
+    answer.
+    """

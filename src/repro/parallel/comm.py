@@ -14,13 +14,32 @@ messages, tag mismatches, self-sends and collective divergence.
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import CommunicationError
+from repro.exceptions import CommunicationError, ResilienceError
+
+#: fault events a :class:`FaultInjector <repro.resilience.faults.
+#: FaultInjector>` can leave in the log
+FAULT_EVENT_KINDS = (
+    "fault_drop",
+    "fault_duplicate",
+    "fault_corrupt",
+    "fault_delay",
+    "rank_fail",
+)
+
+#: recovery-action events the resilient transport records
+RECOVERY_EVENT_KINDS = (
+    "recover_retry",
+    "recover_redeliver",
+    "recover_dedup",
+    "recover_restore",
+)
 
 
 @dataclass(frozen=True)
@@ -31,6 +50,14 @@ class CommEvent:
     that found no matching message, recorded before the error is raised),
     ``"collective"`` or ``"barrier"``.  For collectives and barriers
     ``src`` is the participating rank and ``dst`` is ``-1``.
+
+    Under fault injection (:mod:`repro.resilience`) the log additionally
+    carries fault events (:data:`FAULT_EVENT_KINDS`: an injected drop,
+    duplicate, corruption, delay, or rank failure) and the recovery
+    actions that repaired them (:data:`RECOVERY_EVENT_KINDS`: a
+    retransmit, a late delivery, a receiver-side dedup, a checkpoint
+    restore).  The protocol checker pairs the two streams to verify no
+    fault went unrecovered (RES001/RES002).
     """
 
     seq: int
@@ -79,6 +106,23 @@ class SimComm:
         self._buffer_in_use = np.zeros(self.n_ranks, dtype=np.int64)
         self.spilled_messages = 0
         self.spilled_bytes = 0
+        # -- resilient transport (both None unless attach_resilience) ------
+        #: duck-typed fault source: .on_send(src, dst, tag, payload)
+        self.fault_injector = None
+        #: duck-typed recovery policy: .max_retries, .note_retry(), ...
+        self.recovery = None
+        self._msg_id = 0
+        # sender-side retransmission buffer: originals of dropped/corrupted
+        # messages, keyed like the queues
+        self._lost: Dict[Tuple[int, int, str], List[Tuple[int, int, Any]]] = (
+            defaultdict(list)
+        )
+        # in-flight delayed messages: [countdown, msg_id, nbytes, payload]
+        self._delayed: Dict[Tuple[int, int, str], List[List[Any]]] = (
+            defaultdict(list)
+        )
+        # receiver-side sequence filter (delivered msg ids per queue key)
+        self._delivered: Dict[Tuple[int, int, str], set] = defaultdict(set)
 
     def _check_rank(self, rank: int, role: str, op: str) -> None:
         if not (0 <= rank < self.n_ranks):
@@ -93,11 +137,40 @@ class SimComm:
         self.log.append(CommEvent(self._seq, kind, src, dst, tag, nbytes))
         self._seq += 1
 
+    def _account_buffer(self, src: int, nbytes: int) -> None:
+        if self.device_buffer_bytes is not None:
+            if self._buffer_in_use[src] + nbytes > self.device_buffer_bytes:
+                self.spilled_messages += 1
+                self.spilled_bytes += nbytes
+            else:
+                self._buffer_in_use[src] += nbytes
+
+    def _enqueue(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: Any,
+        nbytes: int,
+        msg_id: int,
+        checksum: Optional[int],
+    ) -> None:
+        self._account_buffer(src, nbytes)
+        self._record("send", src, dst, tag, nbytes)
+        self._queues[(src, dst, tag)].append(
+            (src, nbytes, payload, msg_id, checksum)
+        )
+
     def send(self, src: int, dst: int, payload: Any, tag: str = "") -> None:
         """Enqueue ``payload`` from ``src`` to ``dst`` and account its size.
 
         With a finite device buffer, the payload occupies buffer space on
         the sender until received; overflow spills to pinned memory.
+
+        When a fault injector is attached (:meth:`attach_resilience`) the
+        message may instead be dropped, duplicated, corrupted in transit
+        or delayed, exactly as the injector's schedule dictates; the sent
+        bytes are accounted either way (the wire was used).
         """
         self._check_rank(src, "src", "send")
         self._check_rank(dst, "dst", "send")
@@ -105,41 +178,254 @@ class SimComm:
         self.bytes_sent[src] += nbytes
         self.messages_sent[src] += 1
         self.pair_bytes[(src, dst)] += nbytes
-        if self.device_buffer_bytes is not None:
-            if self._buffer_in_use[src] + nbytes > self.device_buffer_bytes:
-                self.spilled_messages += 1
-                self.spilled_bytes += nbytes
-            else:
-                self._buffer_in_use[src] += nbytes
+        msg_id = self._msg_id
+        self._msg_id += 1
+        if self.fault_injector is not None:
+            checksum = payload_checksum(payload)
+            action = self.fault_injector.on_send(src, dst, tag, payload)
+            if action is not None:
+                kind, extra = action
+                key = (src, dst, tag)
+                if kind == "drop":
+                    # lost on the wire; original kept in the sender-side
+                    # retransmission buffer for a recovery retry
+                    self._record("fault_drop", src, dst, tag, nbytes)
+                    self._lost[key].append((msg_id, nbytes, payload))
+                    return
+                if kind == "delay":
+                    self._record("fault_delay", src, dst, tag, nbytes)
+                    self._delayed[key].append(
+                        [int(extra), msg_id, nbytes, payload]
+                    )
+                    return
+                if kind == "corrupt":
+                    # checksum of the *original* travels with the mangled
+                    # payload (the sender computed it before the bit flip)
+                    self._enqueue(src, dst, tag, extra, nbytes, msg_id, checksum)
+                    self._record("fault_corrupt", src, dst, tag, nbytes)
+                    self._lost[key].append((msg_id, nbytes, payload))
+                    return
+                if kind == "duplicate":
+                    self._enqueue(
+                        src, dst, tag, payload, nbytes, msg_id, checksum
+                    )
+                    self._record("fault_duplicate", src, dst, tag, nbytes)
+                    self._queues[key].append(
+                        (src, nbytes, payload, msg_id, checksum)
+                    )
+                    return
+                raise CommunicationError(
+                    f"fault injector returned unknown action {kind!r}"
+                )
+            self._enqueue(src, dst, tag, payload, nbytes, msg_id, checksum)
+            return
+        self._account_buffer(src, nbytes)
         self._record("send", src, dst, tag, nbytes)
-        self._queues[(src, dst, tag)].append((src, nbytes, payload))
+        self._queues[(src, dst, tag)].append((src, nbytes, payload, msg_id, None))
 
     def recv(self, src: int, dst: int, tag: str = "") -> Any:
-        """Dequeue the oldest matching message (releases its buffer space)."""
+        """Dequeue the oldest matching message (releases its buffer space).
+
+        Under an attached fault injector this is the resilient receive:
+        duplicate copies are filtered by message id, corrupted payloads
+        are detected by checksum and retransmitted from the sender-side
+        buffer, and dropped/delayed messages are recovered by the retry
+        loop of the attached policy.  A fault that cannot be recovered
+        raises :class:`~repro.exceptions.ResilienceError` — never a
+        silent wrong payload.
+        """
         self._check_rank(src, "src", "recv")
         self._check_rank(dst, "dst", "recv")
-        queue = self._queues.get((src, dst, tag))
+        key = (src, dst, tag)
+        if self.fault_injector is not None:
+            return self._recv_resilient(key)
+        queue = self._queues.get(key)
         if not queue:
-            self._record("recv_missing", src, dst, tag, 0)
-            pending_tags = sorted(
-                t for (s, d, t), q in self._queues.items()
-                if s == src and d == dst and q
-            )
-            hint = (
-                f" (pending tags for this pair: {pending_tags})"
-                if pending_tags
-                else ""
-            )
-            raise CommunicationError(
-                f"no message {_msg_context('recv', src, dst, tag)}{hint}"
-            )
-        sender, nbytes, payload = queue.pop(0)
+            self._raise_missing(src, dst, tag)
+        sender, nbytes, payload, _msg_id, _checksum = queue.pop(0)
         if self.device_buffer_bytes is not None:
             self._buffer_in_use[sender] = max(
                 self._buffer_in_use[sender] - nbytes, 0
             )
         self._record("recv", src, dst, tag, nbytes)
         return payload
+
+    def _raise_missing(self, src: int, dst: int, tag: str) -> None:
+        self._record("recv_missing", src, dst, tag, 0)
+        pending_tags = sorted(
+            t for (s, d, t), q in self._queues.items()
+            if s == src and d == dst and q
+        )
+        hint = (
+            f" (pending tags for this pair: {pending_tags})"
+            if pending_tags
+            else ""
+        )
+        raise CommunicationError(
+            f"no message {_msg_context('recv', src, dst, tag)}{hint}"
+        )
+
+    def _recv_resilient(self, key: Tuple[int, int, str]) -> Any:
+        """The receive loop of the resilient transport (injector attached)."""
+        src, dst, tag = key
+        policy = self.recovery
+        max_retries = policy.max_retries if policy is not None else 0
+        attempts = 0
+        while True:
+            queue = self._queues.get(key)
+            while queue:
+                sender, nbytes, payload, msg_id, checksum = queue.pop(0)
+                if self.device_buffer_bytes is not None:
+                    self._buffer_in_use[sender] = max(
+                        self._buffer_in_use[sender] - nbytes, 0
+                    )
+                if msg_id in self._delivered[key]:
+                    # a duplicate copy of an already-delivered message:
+                    # the sequence filter discards it
+                    self._record("recover_dedup", src, dst, tag, nbytes)
+                    if policy is not None:
+                        policy.note_dedup()
+                    continue
+                if checksum is not None and payload_checksum(payload) != checksum:
+                    self._record("recv", src, dst, tag, nbytes)
+                    original = self._take_lost(key, msg_id)
+                    if policy is None or original is None:
+                        raise ResilienceError(
+                            "corrupted message detected "
+                            f"({_msg_context('recv', src, dst, tag)}) and no "
+                            "recovery policy is attached to retransmit it"
+                        )
+                    self._record("recover_retry", src, dst, tag, nbytes)
+                    policy.note_retry(attempts)
+                    self._enqueue(
+                        src, dst, tag, original[2], original[1],
+                        self._next_msg_id(), payload_checksum(original[2]),
+                    )
+                    queue = self._queues.get(key)
+                    continue
+                self._delivered[key].add(msg_id)
+                self._record("recv", src, dst, tag, nbytes)
+                return payload
+            # nothing deliverable: service delayed messages (one backoff
+            # tick per attempt) and retransmit anything known lost
+            progressed = False
+            delayed = self._delayed.get(key)
+            if delayed:
+                for entry in delayed:
+                    entry[0] -= 1
+                ready = [e for e in delayed if e[0] <= 0]
+                if ready:
+                    if policy is None:
+                        raise ResilienceError(
+                            "delayed message "
+                            f"({_msg_context('recv', src, dst, tag)}) with no "
+                            "recovery policy attached to wait for it"
+                        )
+                    for _countdown, msg_id, nbytes, payload in ready:
+                        self._record("recover_redeliver", src, dst, tag, nbytes)
+                        policy.note_redeliver()
+                        self._enqueue(
+                            src, dst, tag, payload, nbytes, msg_id,
+                            payload_checksum(payload),
+                        )
+                    self._delayed[key] = [e for e in delayed if e[0] > 0]
+                    progressed = True
+            lost = self._lost.get(key)
+            if not progressed and lost:
+                if policy is None:
+                    raise ResilienceError(
+                        "message lost in transit "
+                        f"({_msg_context('recv', src, dst, tag)}) and no "
+                        "recovery policy is attached to retransmit it"
+                    )
+                msg_id, nbytes, payload = lost.pop(0)
+                self._record("recover_retry", src, dst, tag, nbytes)
+                policy.note_retry(attempts)
+                self._enqueue(
+                    src, dst, tag, payload, nbytes, msg_id,
+                    payload_checksum(payload),
+                )
+                progressed = True
+            if progressed:
+                continue
+            if delayed and policy is not None and attempts < max_retries:
+                attempts += 1
+                policy.note_backoff(attempts)
+                continue
+            if delayed:
+                raise ResilienceError(
+                    f"delayed message ({_msg_context('recv', src, dst, tag)}) "
+                    f"did not arrive within {max_retries} retries"
+                )
+            self._raise_missing(src, dst, tag)
+
+    def _next_msg_id(self) -> int:
+        msg_id = self._msg_id
+        self._msg_id += 1
+        return msg_id
+
+    def _take_lost(
+        self, key: Tuple[int, int, str], msg_id: int
+    ) -> Optional[Tuple[int, int, Any]]:
+        """Pop the retransmission-buffer entry for ``msg_id`` (None if gone)."""
+        for i, entry in enumerate(self._lost.get(key, ())):
+            if entry[0] == msg_id:
+                return self._lost[key].pop(i)
+        return None
+
+    # -- resilience hooks --------------------------------------------------
+    def attach_resilience(self, injector, recovery=None) -> None:
+        """Attach a fault injector and (optionally) a recovery policy.
+
+        ``injector`` is consulted on every :meth:`send`; ``recovery``
+        drives the retry/backoff loop of :meth:`recv`.  Both are
+        duck-typed so this module keeps no dependency on
+        :mod:`repro.resilience`.
+        """
+        self.fault_injector = injector
+        self.recovery = recovery
+
+    def finish_step(self) -> None:
+        """End-of-step transport maintenance under fault injection.
+
+        Drains duplicate copies still queued (recorded as dedups) and
+        raises :class:`~repro.exceptions.ResilienceError` if a dropped or
+        delayed message was never asked for again — a fault nobody
+        recovered must stop the run, not linger silently.
+        """
+        if self.fault_injector is None:
+            return
+        for key, queue in self._queues.items():
+            kept = []
+            for entry in queue:
+                if entry[3] in self._delivered[key]:
+                    self._record(
+                        "recover_dedup", key[0], key[1], key[2], entry[1]
+                    )
+                    if self.recovery is not None:
+                        self.recovery.note_dedup()
+                else:
+                    kept.append(entry)
+            queue[:] = kept
+        leftovers = sorted(
+            key for key, entries in self._lost.items() if entries
+        ) + sorted(key for key, entries in self._delayed.items() if entries)
+        if leftovers:
+            raise ResilienceError(
+                "unrecovered message fault(s) at end of step for "
+                f"(src, dst, tag) = {leftovers}; the receiver never "
+                "re-requested the lost/delayed message"
+            )
+
+    def record_rank_failure(self, rank: int) -> None:
+        """Log a hard rank failure (audited by commcheck rule RES002)."""
+        self._check_rank(rank, "", "rank_fail")
+        self._record("rank_fail", rank, -1, "rank", 0)
+
+    def record_restore(self, rank: int, nbytes: int = 0) -> None:
+        """Log a checkpoint-restore recovery for a failed rank."""
+        self._check_rank(rank, "", "recover_restore")
+        self._record("recover_restore", rank, -1, "rank", nbytes)
 
     def pending(self) -> int:
         """Number of undelivered messages (should be 0 between phases)."""
@@ -203,6 +489,31 @@ class SimComm:
     def clear_log(self) -> None:
         """Drop the recorded event history (e.g. between benchmark phases)."""
         self.log.clear()
+
+
+def payload_checksum(payload: Any) -> int:
+    """CRC32 over a payload's bytes (arrays, nested tuples, scalars).
+
+    The integrity check of the resilient transport: computed at send
+    time, carried with the message, and re-verified at receive time so a
+    corrupted-in-transit payload is detected instead of deposited into
+    the physics.  Cheap (one pass) and fully deterministic.
+    """
+    crc = 0
+    if isinstance(payload, np.ndarray):
+        return zlib.crc32(np.ascontiguousarray(payload).tobytes())
+    if isinstance(payload, (tuple, list)):
+        for p in payload:
+            crc = zlib.crc32(payload_checksum(p).to_bytes(4, "little"), crc)
+        return crc
+    if isinstance(payload, dict):
+        for k in sorted(payload, key=str):
+            crc = zlib.crc32(bytes(str(k), "utf8"), crc)
+            crc = zlib.crc32(
+                payload_checksum(payload[k]).to_bytes(4, "little"), crc
+            )
+        return crc
+    return zlib.crc32(bytes(repr(payload), "utf8"))
 
 
 def payload_nbytes(payload: Any) -> int:

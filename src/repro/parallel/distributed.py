@@ -18,7 +18,7 @@ paper's weak/strong scaling benchmarks).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -51,6 +51,10 @@ from repro.particles.injection import DensityProfile, inject_plasma
 from repro.particles.pusher import lorentz_factor, push_boris, push_positions
 from repro.particles.shapes import required_guards
 from repro.particles.species import Species
+
+if TYPE_CHECKING:  # imported lazily: repro.resilience sits above this layer
+    from repro.resilience.faults import FaultSchedule
+    from repro.resilience.recovery import RecoveryPolicy, ResilienceManager
 
 
 class DistributedSpecies:
@@ -101,6 +105,10 @@ class DistributedSimulation:
         dynamic_lb: bool = False,
         lb_interval: int = 10,
         lb_threshold: float = 1.1,
+        fault_schedule: Optional["FaultSchedule"] = None,
+        recovery: Optional["RecoveryPolicy"] = None,
+        checkpoint_interval: int = 0,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         self.domain = YeeGrid(n_cells, lo, hi, guards=guards)
         self.dt = float(dt) if dt is not None else cfl_dt(self.domain.dx, cfl)
@@ -134,6 +142,24 @@ class DistributedSimulation:
         self.sanitizer: Optional[Sanitizer] = Sanitizer.from_env()
         self.time = 0.0
         self.step_count = 0
+        #: ranks lost to a hard failure (their boxes were evacuated)
+        self.dead_ranks: Set[int] = set()
+        #: fault-injection / checkpoint / recovery orchestration (optional)
+        self.resilience: Optional["ResilienceManager"] = None
+        if (
+            fault_schedule is not None
+            or checkpoint_interval > 0
+            or checkpoint_dir is not None
+        ):
+            from repro.resilience.recovery import ResilienceManager
+
+            self.resilience = ResilienceManager(
+                schedule=fault_schedule,
+                policy=recovery,
+                checkpoint_interval=checkpoint_interval,
+                checkpoint_dir=checkpoint_dir,
+            )
+            self.resilience.attach(self)
 
     # -- setup -----------------------------------------------------------
     def add_species(
@@ -169,10 +195,20 @@ class DistributedSimulation:
 
     # -- the decomposed PIC cycle ------------------------------------------
     def step(self, n: int = 1) -> None:
-        for _ in range(n):
+        """Advance ``n`` steps (counted by target step number).
+
+        Under a fault schedule a rank failure rolls the run back to the
+        last checkpoint, so the loop tracks the *target* step count: the
+        rolled-back steps are replayed until the run genuinely reaches
+        ``step_count + n``.
+        """
+        target = self.step_count + n
+        while self.step_count < target:
             self._single_step()
 
     def _single_step(self) -> None:
+        if self.resilience is not None:
+            self.resilience.begin_step(self)
         with self.timers.timer("particles"):
             for i, (box, bg) in enumerate(zip(self.boxes, self.box_grids)):
                 bg.zero_sources()
@@ -278,6 +314,9 @@ class DistributedSimulation:
         self.time += self.dt
         self.step_count += 1
 
+        if self.resilience is not None:
+            self.resilience.finish_step(self)
+
         if self.sanitizer is not None:
             with self.timers.timer("sanitize"):
                 self._run_sanitizers()
@@ -302,6 +341,7 @@ class DistributedSimulation:
                         step,
                         where="redistribute",
                     )
+        san.check_comm_quiescent(self.comm, step)
 
     # -- diagnostics -------------------------------------------------------
     def global_field_view(self, component: str) -> np.ndarray:

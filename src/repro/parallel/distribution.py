@@ -16,6 +16,7 @@ from repro.core.load_balance import (
     distribute_knapsack,
     distribute_round_robin,
     distribute_sfc,
+    evacuate_boxes,
     load_imbalance,
 )
 from repro.exceptions import DecompositionError
@@ -89,4 +90,22 @@ class DistributionMapping:
                 self.strategy = saved
         else:
             self.assignment = self._compute(costs)
+        return int(np.count_nonzero(old != self.assignment))
+
+    def evacuate(
+        self,
+        dead_rank: int,
+        alive: Sequence[int],
+        costs: Optional[Sequence[float]] = None,
+    ) -> int:
+        """Move a failed rank's boxes to the survivors; others stay put.
+
+        The ``restore_and_redistribute`` mapping update: greedy
+        least-loaded placement of the orphaned boxes only (minimal data
+        motion during recovery).  Returns the number of boxes moved.
+        """
+        if costs is None:
+            costs = [b.n_cells for b in self.boxes]
+        old = self.assignment
+        self.assignment = evacuate_boxes(costs, old, dead_rank, alive)
         return int(np.count_nonzero(old != self.assignment))

@@ -87,19 +87,29 @@ def redistribute_particles(
         owners = owner[leaving]
         for j in np.unique(owners):
             batch = movers.select(owners == j)
-            pending.append((int(j), batch))
             n_moved += batch.n
             if comm is not None and rank_of_box is not None:
                 src = rank_of_box[i]
                 dst = rank_of_box[int(j)]
                 if src != dst:
+                    # the received payload IS the batch: the comm path is
+                    # load-bearing, so injected message faults would alter
+                    # the physics unless the resilient transport recovers
                     comm.send(
                         src,
                         dst,
-                        (batch.positions, batch.momenta, batch.weights),
+                        (batch.positions, batch.momenta, batch.weights, batch.ids),
                         tag="particles",
                     )
-                    comm.recv(src, dst, tag="particles")
+                    pos, mom, wgt, ids = comm.recv(src, dst, tag="particles")
+                    batch = Species(
+                        batch.name, batch.charge, batch.mass, batch.ndim, batch.dtype
+                    )
+                    batch.positions = np.asarray(pos, dtype=batch.dtype)
+                    batch.momenta = np.asarray(mom, dtype=batch.dtype)
+                    batch.weights = np.asarray(wgt, dtype=batch.dtype)
+                    batch.ids = np.asarray(ids, dtype=np.int64)
+            pending.append((int(j), batch))
     for j, batch in pending:
         species_per_box[j].extend(batch)
     return n_moved

@@ -1,0 +1,38 @@
+"""Fault injection, distributed checkpoint/restart, automatic recovery.
+
+The resilience substrate of the reproduction: exascale campaigns (the
+paper's hero runs hold thousands of nodes for hours) cannot assume a
+fault-free machine, so WarpX leans on AMReX checkpoint/restart.  Here
+the same contract is made *testable*: any distributed run can execute
+under a deterministic, seedable :class:`FaultSchedule`; transient
+message faults are repaired by :class:`RecoveryPolicy` retries; a hard
+rank failure rolls back to the last distributed checkpoint and
+redistributes the dead rank's boxes — and every fault and recovery is
+an auditable communicator event (commcheck rules RES001/RES002).
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    corrupt_payload,
+)
+from repro.resilience.recovery import (
+    RecoveryPolicy,
+    RecoveryStats,
+    ResilienceManager,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "corrupt_payload",
+    "RecoveryPolicy",
+    "RecoveryStats",
+    "ResilienceManager",
+]

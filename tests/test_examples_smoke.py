@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "examples/scaling_study.py",
     "examples/boosted_frame_study.py",
     "examples/distributed_demo.py",
+    "examples/fault_injection_demo.py",
 ]
 
 
@@ -49,6 +50,15 @@ def test_mr_demo_reports_clean_escape():
     out = buf.getvalue()
     assert "residual fine energy" in out
     assert "no spurious reflection" in out
+
+
+def test_fault_demo_reports_bit_identical_recovery():
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        runpy.run_path("examples/fault_injection_demo.py", run_name="__main__")
+    out = buf.getvalue()
+    assert "bit-identical" in out
+    assert "clean" in out  # the commcheck replay line
 
 
 def test_distributed_demo_reports_machine_precision():

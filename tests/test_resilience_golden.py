@@ -1,0 +1,112 @@
+"""Golden-trajectory regression for the LWFA scenario.
+
+A fixed-seed (fully deterministic) small LWFA run is compared step by
+step against a committed reference trajectory — per-step field energy
+and particle count.  Any change to the deposition, push, solver,
+boundaries, moving window or injection order shows up here as a
+trajectory divergence, which is the regression net under the resilience
+refactor: checkpoint/restart and fault recovery must leave the physics
+*exactly* where it was.
+
+Tolerances: the run involves only deterministic NumPy kernels, so the
+trajectory is reproducible to round-off across platforms; energies are
+compared at ``rtol=1e-9`` (a few ulps of headroom for BLAS/compiler
+variation) and particle counts exactly.  To regenerate after an
+*intentional* physics change, run this file as a script:
+``PYTHONPATH=src python tests/test_resilience_golden.py``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.constants import fs, um
+from repro.scenarios.lwfa import build_lwfa
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_lwfa.json")
+
+#: relative tolerance on per-step field energy (see module docstring)
+ENERGY_RTOL = 1e-9
+
+
+def run_trajectory():
+    sim, electrons, _laser = build_lwfa(
+        domain_size=(20.0 * um, 10.0 * um),
+        cells_per_wavelength=8.0,
+        ppc=(1, 1),
+        window_start=5.0 * fs,
+    )
+    energies, counts = [], []
+    for _ in range(30):
+        sim.step(1)
+        energies.append(sim.grid.field_energy())
+        counts.append(int(electrons.n))
+    return energies, counts
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    return run_trajectory()
+
+
+def test_field_energy_trajectory_matches_golden(golden, trajectory):
+    energies, _ = trajectory
+    ref = golden["field_energy_J"]
+    assert len(energies) == len(ref)
+    np.testing.assert_allclose(
+        energies,
+        ref,
+        rtol=ENERGY_RTOL,
+        err_msg="per-step field energy diverged from the committed "
+        "golden trajectory (regenerate only for intentional physics "
+        "changes: PYTHONPATH=src python tests/test_resilience_golden.py)",
+    )
+
+
+def test_particle_count_trajectory_matches_golden(golden, trajectory):
+    _, counts = trajectory
+    assert counts == golden["particle_count"]
+
+
+def test_trajectory_covers_window_and_injection(golden):
+    """The scenario must actually exercise the moving window: constant
+    particle counts would mean the golden file locks nothing down."""
+    counts = golden["particle_count"]
+    assert len(set(counts)) > 1
+    energies = golden["field_energy_J"]
+    assert all(e > 0 for e in energies)
+
+
+def test_rerun_is_deterministic(trajectory):
+    """The trajectory is a pure function of the build — same run twice."""
+    energies, counts = trajectory
+    energies2, counts2 = run_trajectory()
+    assert counts == counts2
+    np.testing.assert_array_equal(energies, energies2)
+
+
+if __name__ == "__main__":  # regenerate the golden file (intentional changes)
+    energies, counts = run_trajectory()
+    golden = {
+        "scenario": {
+            "domain_size_um": [20.0, 10.0],
+            "cells_per_wavelength": 8.0,
+            "ppc": [1, 1],
+            "window_start_fs": 5.0,
+            "n_steps": 30,
+        },
+        "field_energy_J": energies,
+        "particle_count": counts,
+    }
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(golden, f, indent=2)
+    print(f"regenerated {GOLDEN_PATH}")
