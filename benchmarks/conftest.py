@@ -3,13 +3,24 @@
 Every table and figure of the paper's evaluation has a bench module here;
 run them all with ``pytest benchmarks/ --benchmark-only -s`` (the ``-s``
 lets the regenerated tables print).
+
+Every table a benchmark prints is also persisted, machine-readable, as
+``benchmarks/results/BENCH_<test-name>.json`` (timestamped, with the
+title/header/rows of the printed table), so the perf trajectory of the
+repo accumulates instead of evaporating with the terminal scrollback.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import re
+from datetime import datetime, timezone
 from typing import Iterable, Sequence
 
 import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -29,6 +40,33 @@ def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> 
         print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
 
 
+def persist_table(
+    name: str, title: str, header: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Write one benchmark table as ``results/BENCH_<name>.json``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{safe}.json")
+    payload = {
+        "bench": name,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "title": title,
+        "header": list(header),
+        "rows": [[str(c) for c in r] for r in rows],
+    }
+    with open(path, "w", encoding="utf8") as fh:
+        json.dump(payload, fh, indent=2)
+    return path
+
+
 @pytest.fixture
-def table():
-    return print_table
+def table(request):
+    """Print a table *and* persist it under ``benchmarks/results/``."""
+    test_name = re.sub(r"^test_", "", request.node.name)
+
+    def _table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+        rows = [tuple(str(c) for c in r) for r in rows]
+        print_table(title, header, rows)
+        persist_table(test_name, title, header, rows)
+
+    return _table

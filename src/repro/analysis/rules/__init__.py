@@ -9,6 +9,7 @@ PIC002  ``np.zeros``/``np.empty`` must pass an explicit ``dtype``
 PIC003  only ``ReproError`` subclasses may be raised from library code
 PIC004  no direct wall-clock calls outside ``diagnostics.timers``
 PIC005  ``__all__`` must be consistent with the names a package binds
+PIC006  kernel-phase calls in step drivers must run under a timer/span
 ======  ==================================================================
 """
 
@@ -16,6 +17,7 @@ from repro.analysis.rules import dtype
 from repro.analysis.rules import exports
 from repro.analysis.rules import hotloop
 from repro.analysis.rules import raises
+from repro.analysis.rules import spans
 from repro.analysis.rules import timing
 
-__all__ = ["dtype", "exports", "hotloop", "raises", "timing"]
+__all__ = ["dtype", "exports", "hotloop", "raises", "spans", "timing"]

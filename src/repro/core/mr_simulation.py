@@ -168,7 +168,7 @@ class MRSimulation(Simulation):
         observed to destabilize the fine grid.
         """
         self._holders = []
-        for patch in self.patches:
+        for patch_index, patch in enumerate(self.patches):
             if not patch.subcycle:
                 continue
             dt_sub = self.dt / patch.ratio
@@ -193,7 +193,9 @@ class MRSimulation(Simulation):
                 name: np.sort(holder.ids.copy())
                 for name, holder in holders.items()
             }
-            with self.timers.timer("mr_subcycle"):
+            with self._phase(
+                "mr_subcycle", level=1, patch=patch_index, ratio=patch.ratio
+            ):
                 # external field at substep times: linear extrapolation
                 # from the last two parent steps (the paper's algorithm
                 # interpolates the coarse fields in time)
@@ -251,12 +253,13 @@ class MRSimulation(Simulation):
         substep-averaged restricted current and re-insert the extracted
         particles into their species.
         """
-        for patch in self.patches:
-            if patch.subcycle:
-                patch.apply_accumulated_currents_to_parent()
-            else:
-                self._smooth_fine(patch)
-                patch.restrict_currents_to_parent()
+        for k, patch in enumerate(self.patches):
+            with self.tracer.span("mr_restrict", cat="level", level=1, patch=k):
+                if patch.subcycle:
+                    patch.apply_accumulated_currents_to_parent()
+                else:
+                    self._smooth_fine(patch)
+                    patch.restrict_currents_to_parent()
         for patch, holders in self._holders:
             for name, holder in holders.items():
                 self.entries[name].species.extend(holder)
@@ -264,28 +267,34 @@ class MRSimulation(Simulation):
 
     def _advance_fields(self) -> None:
         super()._advance_fields()
-        for patch in self.patches:
-            if patch.subcycle:
-                # the fine grid already took its substeps; advance the
-                # coarse companion in lockstep with the parent operator
-                patch.coarse_solver.step()
-            else:
-                patch.advance_fields()
-            # reassemble against the advanced parent solution (for
-            # subcycled patches this refreshes the external contribution)
-            patch.assemble_aux()
+        for k, patch in enumerate(self.patches):
+            with self.tracer.span("mr_fields", cat="level", level=1, patch=k):
+                if patch.subcycle:
+                    # the fine grid already took its substeps; advance the
+                    # coarse companion in lockstep with the parent operator
+                    patch.coarse_solver.step()
+                else:
+                    patch.advance_fields()
+                # reassemble against the advanced parent solution (for
+                # subcycled patches this refreshes the external contribution)
+                patch.assemble_aux()
 
     # -- step bookkeeping ------------------------------------------------------
-    def _single_step(self) -> None:
+    def _step_body(self) -> None:
+        # overriding _step_body (not _single_step) keeps the patch prep,
+        # subcycling and removal inside the step span of the tracer
         for patch in self.patches:
             patch.zero_sources()
             patch.begin_step()
         self._advance_subcycled_patches()
-        super()._single_step()
+        super()._step_body()
         survivors = []
         for patch in self.patches:
             if patch.should_remove(self.time):
                 self.removal_log.append((self.time, len(self.patches) - 1))
+                self.tracer.instant(
+                    "mr_patch_removed", t=self.time, remaining=len(self.patches) - 1
+                )
             else:
                 survivors.append(patch)
         self.patches = survivors

@@ -34,6 +34,7 @@ from repro.grid.maxwell import MaxwellSolver, cfl_dt
 from repro.grid.pml import PMLMaxwellSolver
 from repro.grid.yee import FIELD_COMPONENTS, SOURCE_COMPONENTS, YeeGrid
 from repro.core.moving_window import MovingWindow
+from repro.observability.tracer import NULL_TRACER, phase_span
 from repro.laser.antenna import LaserAntenna
 from repro.particles.deposit import deposit_current_direct, deposit_current_esirkepov
 from repro.particles.gather import gather_fields
@@ -128,6 +129,7 @@ class Simulation:
         sort_interval: int = 0,
         timers: Optional[Timers] = None,
         maxwell_solver: str = "yee",
+        tracer=None,
     ) -> None:
         self.grid = grid
         self.dt = float(dt) if dt is not None else cfl_dt(grid.dx, cfl)
@@ -155,6 +157,10 @@ class Simulation:
         self.smoothing_passes = int(smoothing_passes)
         self.sort_interval = int(sort_interval)
         self.timers = timers if timers is not None else Timers()
+        #: span recorder; the shared no-op unless observability is attached
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: metrics registry set by repro.observability.attach_observability
+        self.metrics = None
 
         if maxwell_solver not in ("yee", "psatd"):
             raise ConfigurationError(f"unknown Maxwell solver {maxwell_solver!r}")
@@ -292,36 +298,51 @@ class Simulation:
         for _ in range(n):
             self._single_step()
 
+    def _phase(self, name: str, **attrs):
+        """Timer accumulation for one PIC phase, plus a span when tracing.
+
+        With the tracer disabled this is exactly ``timers.timer(name)``
+        (one attribute check of overhead); enabled, the same interval is
+        also recorded as a span nested under the current step.
+        """
+        if self.tracer.enabled:
+            return phase_span(self.timers, self.tracer, name, **attrs)
+        return self.timers.timer(name)
+
     def _single_step(self) -> None:
+        with self.tracer.span("step", cat="step", step=self.step_count):
+            self._step_body()
+
+    def _step_body(self) -> None:
         g = self.grid
         self.timers.reset_lap()
-        with self.timers.timer("zero_sources"):
+        with self._phase("zero_sources"):
             g.zero_sources()
 
         for entry in self.entries.values():
             sp = entry.species
             if sp.n == 0:
                 continue
-            with self.timers.timer("gather"):
+            with self._phase("gather", species=sp.name):
                 e_f, b_f = self._gather(sp)
-            with self.timers.timer("push"):
+            with self._phase("push", species=sp.name):
                 sp.momenta = self._push_momenta(
                     sp.momenta, e_f, b_f, sp.charge, sp.mass, self.dt
                 )
                 x_old = sp.positions
                 sp.positions = push_positions(x_old, sp.momenta, self.dt, g.ndim)
-            with self.timers.timer("deposit"):
+            with self._phase("deposit", species=sp.name):
                 vel = sp.momenta * (c / lorentz_factor(sp.momenta))[:, None]
                 self._deposit(sp, x_old, sp.positions, vel)
 
-        with self.timers.timer("finalize_deposits"):
+        with self._phase("finalize_deposits"):
             self._finalize_deposits()
 
-        with self.timers.timer("antenna"):
+        with self._phase("antenna"):
             for antenna in self.antennas:
                 antenna.add_current(g, self.time + 0.5 * self.dt)
 
-        with self.timers.timer("source_boundaries"):
+        with self._phase("source_boundaries"):
             if self.smoothing_passes > 0:
                 for comp in ("Jx", "Jy", "Jz"):
                     for axis in range(g.ndim):
@@ -332,21 +353,21 @@ class Simulation:
                 if b == "periodic":
                     accumulate_periodic_sources(g, axis)
 
-        with self.timers.timer("maxwell"):
+        with self._phase("maxwell"):
             self._advance_fields()
 
-        with self.timers.timer("field_boundaries"):
+        with self._phase("field_boundaries"):
             for axis, b in enumerate(self.boundaries):
                 if b == "periodic":
                     apply_periodic(g, axis)
                 elif b == "damped":
                     apply_damping(g, axis, self.n_absorber, strength=0.04)
 
-        with self.timers.timer("particle_boundaries"):
+        with self._phase("particle_boundaries"):
             self._apply_particle_boundaries()
 
         if self.moving_window is not None:
-            with self.timers.timer("moving_window"):
+            with self._phase("moving_window"):
                 shifts = self.moving_window.cells_to_shift(
                     self.time, self.dt, g.dx[0]
                 )
@@ -357,21 +378,24 @@ class Simulation:
             self.sort_interval > 0
             and self.step_count % self.sort_interval == self.sort_interval - 1
         ):
-            with self.timers.timer("sort"):
+            with self._phase("sort"):
                 for entry in self.entries.values():
                     if entry.species.n:
                         sort_species_by_bin(entry.species, g)
 
         self.time += self.dt
         self.step_count += 1
-        self.timers.lap()
+        lap = self.timers.lap()
+        if self.metrics is not None:
+            self.metrics.counter("particles.pushed").add(self.total_particles())
+            self.metrics.histogram("step.seconds").observe(lap)
         for cb in self.callbacks:
             cb(self)
 
         # last, so anything the whole step (callbacks included) left behind
         # is caught before the next gather consumes it
         if self.sanitizer is not None:
-            with self.timers.timer("sanitize"):
+            with self._phase("sanitize"):
                 self._run_sanitizers()
 
     def _run_sanitizers(self) -> None:

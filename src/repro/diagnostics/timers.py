@@ -13,6 +13,17 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
 
+def now() -> float:
+    """The monotonic clock every timing consumer shares.
+
+    Lint rule PIC004 bans direct ``time`` reads outside this module; the
+    tracer (:mod:`repro.observability.tracer`) and anything else that
+    needs raw timestamps routes through this function so all recorded
+    times live on one comparable axis.
+    """
+    return time.perf_counter()
+
+
 class Stopwatch:
     """Holder for one measured duration (filled by :meth:`Timers.stopwatch`)."""
 
@@ -82,11 +93,36 @@ class Timers:
         """Sum over all named timers."""
         return sum(self.totals.values())
 
+    def reset(self) -> None:
+        """Drop all accumulated totals, counts and the lap history."""
+        self.totals.clear()
+        self.counts.clear()
+        self.step_times.clear()
+        self._lap_start = time.perf_counter()
+
+    def merge(self, other: "Timers") -> None:
+        """Fold another :class:`Timers` into this one (per-rank aggregation).
+
+        Totals and call counts add; the lap history concatenates (the
+        merged ``step_times`` is the pool over which per-step percentiles
+        are computed when ranks report independently).
+        """
+        for name, total in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + total
+            self.counts[name] = self.counts.get(name, 0) + other.counts[name]
+        self.step_times.extend(other.step_times)
+
     def report(self) -> str:
         """Human-readable breakdown sorted by total time."""
         lines = ["timer breakdown:"]
+        # column width follows the longest name so nothing breaks alignment
+        width = max([len(n) for n in self.totals], default=0)
+        width = max(width, 24)
+        grand = self.total()
         for name, total in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            share = 100.0 * total / grand if grand > 0 else 0.0
             lines.append(
-                f"  {name:<24s} {total:10.4f}s  ({self.counts[name]} calls)"
+                f"  {name:<{width}s} {total:10.4f}s  {share:5.1f}%  "
+                f"({self.counts[name]} calls)"
             )
         return "\n".join(lines)

@@ -53,6 +53,15 @@ class AnalysisError(ReproError):
     """The static-analysis driver itself was misused (bad path, bad rule id)."""
 
 
+class ObservabilityError(ReproError):
+    """The tracing/metrics subsystem was misused or fed a malformed trace.
+
+    Raised by :mod:`repro.observability` for metric type conflicts,
+    unparsable trace files and invalid CLI arguments — never for
+    instrumentation overhead concerns (a disabled tracer is silent).
+    """
+
+
 class ResilienceError(ReproError):
     """A fault could not be recovered.
 

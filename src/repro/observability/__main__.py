@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.observability <trace.jsonl>``."""
+
+import sys
+
+from repro.observability.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Wiring: attach a tracer and a metrics registry to a live simulation.
+
+The simulations carry permanently-instrumented step code (span calls
+against a :data:`~repro.observability.tracer.NULL_TRACER` by default);
+this module swaps the real recorders in and adds the per-step metrics
+observer that mirrors the communicator, load-balancer and resilience
+internals into the :class:`~repro.observability.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
+
+
+class DistributedObserver:
+    """Per-step mirror of a ``DistributedSimulation``'s internals.
+
+    Called at the end of every step (after the step counter advanced).
+    Counters advance by the *delta* since the previous observation, so
+    their totals always equal the cumulative :class:`SimComm
+    <repro.parallel.comm.SimComm>` accounting — the acceptance contract
+    of the metrics snapshot.
+    """
+
+    def __init__(self, sim, metrics: MetricsRegistry) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self._prev_pair_bytes = dict(sim.comm.pair_bytes)
+        self._prev_messages = int(sim.comm.messages_sent.sum())
+        self._prev_collectives = int(sim.comm.collective_calls)
+        self._prev_lb_events = len(sim.lb_events)
+        self._prev_recovery = self._recovery_totals()
+        #: guard-cell samples exchanged per step: every overlap region is
+        #: filled once with 3 current components and once with 6 field
+        #: components (the two halo phases of ``_finish_step``)
+        self._guard_samples_per_step = sum(o[2] for o in sim.overlaps) * 9
+
+    def _recovery_totals(self) -> Tuple[int, int, int]:
+        res = self.sim.resilience
+        if res is None or res.policy is None:
+            return (0, 0, 0)
+        stats = res.policy.stats
+        return (stats.retries, stats.redeliveries, stats.dedups)
+
+    def observe(self) -> None:
+        sim = self.sim
+        m = self.metrics
+        comm = sim.comm
+
+        # particles: pushed this step (counter) and currently live (gauge)
+        live = sim.total_particles()
+        m.counter("particles.pushed").add(live)
+        m.gauge("particles.live").set(live)
+
+        # communication: per-pair byte counters advance by the step delta
+        for pair, nbytes in comm.pair_bytes.items():
+            delta = nbytes - self._prev_pair_bytes.get(pair, 0)
+            if delta > 0:
+                m.counter("comm.pair_bytes", src=pair[0], dst=pair[1]).add(delta)
+        self._prev_pair_bytes = dict(comm.pair_bytes)
+        messages = int(comm.messages_sent.sum())
+        m.counter("comm.messages").add(messages - self._prev_messages)
+        self._prev_messages = messages
+        m.counter("comm.collectives").add(
+            comm.collective_calls - self._prev_collectives
+        )
+        self._prev_collectives = int(comm.collective_calls)
+        m.gauge("comm.spilled_bytes").set(comm.spilled_bytes)
+        m.counter("halo.guard_cells").add(self._guard_samples_per_step)
+
+        # load balance: the imbalance gauge matches DistributionMapping
+        costs = sim.cost_model.measured(range(len(sim.boxes)), default=0.0)
+        if any(c > 0 for c in costs):
+            imbalance = sim.dm.imbalance(costs)
+            m.gauge("lb.imbalance").set(imbalance)
+            m.histogram("lb.box_cost").observe(max(costs))
+        new_events = sim.lb_events[self._prev_lb_events:]
+        if new_events:
+            m.counter("lb.rebalances").add(len(new_events))
+            m.counter("lb.boxes_moved").add(sum(new_events))
+        self._prev_lb_events = len(sim.lb_events)
+
+        # resilience: mirror the recovery-policy stats as counters
+        retries, redeliveries, dedups = self._recovery_totals()
+        p_retries, p_redeliveries, p_dedups = self._prev_recovery
+        if retries > p_retries:
+            m.counter("resilience.retransmissions").add(retries - p_retries)
+        if redeliveries > p_redeliveries:
+            m.counter("resilience.redeliveries").add(redeliveries - p_redeliveries)
+        if dedups > p_dedups:
+            m.counter("resilience.dedups").add(dedups - p_dedups)
+        self._prev_recovery = (retries, redeliveries, dedups)
+        if sim.dead_ranks:
+            m.gauge("resilience.dead_ranks").set(len(sim.dead_ranks))
+
+
+def attach_observability(
+    sim,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    snapshot_interval: int = 0,
+) -> Tuple[Tracer, MetricsRegistry]:
+    """Enable tracing and metrics on a simulation; returns both recorders.
+
+    Works on any of the simulation classes; the distributed simulation
+    additionally gets the :class:`DistributedObserver` (comm heatmap,
+    imbalance gauge, resilience counters) and — with a positive
+    ``snapshot_interval`` — periodic metrics snapshots interleaved into
+    the trace stream (the imbalance *timeline* the CLI renders).
+    """
+    if tracer is None:
+        tracer = Tracer(enabled=True)
+    if metrics is None:
+        metrics = MetricsRegistry()
+    sim.tracer = tracer
+    sim.metrics = metrics
+    if hasattr(sim, "comm"):  # a DistributedSimulation
+        sim._observer = DistributedObserver(sim, metrics)
+        sim._snapshot_interval = int(snapshot_interval)
+        if sim.resilience is not None:
+            sim.resilience.metrics = metrics
+    return tracer, metrics

@@ -30,6 +30,7 @@ from repro.diagnostics.timers import Timers
 from repro.exceptions import ConfigurationError
 from repro.grid.maxwell import MaxwellSolver, cfl_dt
 from repro.grid.yee import FIELD_COMPONENTS, YeeGrid
+from repro.observability.tracer import NULL_TRACER, phase_span
 from repro.parallel.box import Box, chop_domain
 from repro.parallel.comm import SimComm
 from repro.parallel.distribution import DistributionMapping
@@ -109,6 +110,7 @@ class DistributedSimulation:
         recovery: Optional["RecoveryPolicy"] = None,
         checkpoint_interval: int = 0,
         checkpoint_dir: Optional[str] = None,
+        tracer=None,
     ) -> None:
         self.domain = YeeGrid(n_cells, lo, hi, guards=guards)
         self.dt = float(dt) if dt is not None else cfl_dt(self.domain.dx, cfl)
@@ -120,6 +122,13 @@ class DistributedSimulation:
         self.dm = DistributionMapping(self.boxes, n_ranks, strategy)
         self.comm = SimComm(n_ranks)
         self.timers = Timers()
+        #: span recorder; the shared no-op unless observability is attached
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: metrics registry set by repro.observability.attach_observability
+        self.metrics = None
+        self._observer = None
+        #: steps between metrics snapshots interleaved into the trace
+        self._snapshot_interval = 0
         self.box_grids: List[YeeGrid] = []
         self.box_solvers: List[MaxwellSolver] = []
         for b in self.boxes:
@@ -206,16 +215,27 @@ class DistributedSimulation:
         while self.step_count < target:
             self._single_step()
 
+    def _phase(self, name: str, **attrs):
+        """Timer accumulation for one phase, plus a span when tracing."""
+        if self.tracer.enabled:
+            return phase_span(self.timers, self.tracer, name, **attrs)
+        return self.timers.timer(name)
+
     def _single_step(self) -> None:
-        if self.resilience is not None:
-            self.resilience.begin_step(self)
-        with self.timers.timer("particles"):
-            for i, (box, bg) in enumerate(zip(self.boxes, self.box_grids)):
-                bg.zero_sources()
-                with self.timers.stopwatch() as sw:
-                    self._push_and_deposit_box(i, bg)
-                self.cost_model.record_measured(i, sw.elapsed)
-        self._finish_step()
+        with self.tracer.span("step", cat="step", step=self.step_count):
+            self.timers.reset_lap()
+            if self.resilience is not None:
+                self.resilience.begin_step(self)
+            with self._phase("particles"):
+                for i, (box, bg) in enumerate(zip(self.boxes, self.box_grids)):
+                    bg.zero_sources()
+                    with self.tracer.span(
+                        "box", cat="box", rank=self.dm.rank_of(i), box=i
+                    ):
+                        with self.timers.stopwatch() as sw:
+                            self._push_and_deposit_box(i, bg)
+                    self.cost_model.record_measured(i, sw.elapsed)
+            self._finish_step()
 
     def _push_and_deposit_box(self, i: int, bg: YeeGrid) -> None:
         """Gather/push/deposit every species' particles of box ``i``."""
@@ -247,7 +267,7 @@ class DistributedSimulation:
         advance fields, exchange halos, redistribute, balance load."""
         ndim = self.domain.ndim
         periodic_axes = tuple(range(ndim))
-        with self.timers.timer("fold_sources"):
+        with self._phase("fold_sources"):
             fold_sources_global(
                 self.domain, self.box_grids, self.boxes, periodic_axes
             )
@@ -264,11 +284,11 @@ class DistributedSimulation:
                 self.comm, self.overlaps, self.dm.assignment, n_components=3
             )
 
-        with self.timers.timer("maxwell"):
+        with self._phase("maxwell"):
             for solver in self.box_solvers:
                 solver.step()
 
-        with self.timers.timer("halo_fields"):
+        with self._phase("halo_fields"):
             assemble_global(
                 self.domain,
                 self.box_grids,
@@ -283,7 +303,7 @@ class DistributedSimulation:
                 self.comm, self.overlaps, self.dm.assignment, n_components=6
             )
 
-        with self.timers.timer("redistribute"):
+        with self._phase("redistribute"):
             for dsp in self.species.values():
                 for sp in dsp.per_box:
                     if sp.n:
@@ -305,7 +325,7 @@ class DistributedSimulation:
             self.dynamic_lb
             and self.step_count % self.lb_interval == self.lb_interval - 1
         ):
-            with self.timers.timer("load_balance"):
+            with self._phase("load_balance"):
                 costs = self.cost_model.measured(range(len(self.boxes)), default=0.0)
                 if self.dm.imbalance(costs) > self.lb_threshold:
                     moved = self.dm.rebalance(costs, strategy="knapsack")
@@ -313,12 +333,23 @@ class DistributedSimulation:
 
         self.time += self.dt
         self.step_count += 1
+        self.timers.lap()
 
         if self.resilience is not None:
             self.resilience.finish_step(self)
 
+        if self._observer is not None:
+            self._observer.observe()
+            if (
+                self._snapshot_interval > 0
+                and self.step_count % self._snapshot_interval == 0
+            ):
+                self.tracer.add_metrics_snapshot(
+                    self.metrics.snapshot(), step=self.step_count
+                )
+
         if self.sanitizer is not None:
-            with self.timers.timer("sanitize"):
+            with self._phase("sanitize"):
                 self._run_sanitizers()
 
     def _run_sanitizers(self) -> None:

@@ -112,6 +112,8 @@ class ResilienceManager:
         self.policy = policy
         self.checkpoint_interval = int(checkpoint_interval)
         self.checkpoint_dir = checkpoint_dir
+        #: metrics registry set by repro.observability.attach_observability
+        self.metrics = None
         self._memory_checkpoint: Optional[Dict[str, np.ndarray]] = None
         self._checkpoint_step: Optional[int] = None
         # ranks that died this run: the checkpoint may predate a failure,
@@ -152,11 +154,23 @@ class ResilienceManager:
     def save_checkpoint(self, sim) -> None:
         if self.checkpoint_dir is not None:
             save_distributed_checkpoint(sim, self.checkpoint_dir)
+            if self.metrics is not None:
+                nbytes = sum(
+                    arr.nbytes for arr in pack_distributed_state(sim).values()
+                )
         else:
             state = pack_distributed_state(sim)
             self._memory_checkpoint = {
                 k: np.array(v, copy=True) for k, v in state.items()
             }
+            if self.metrics is not None:
+                nbytes = sum(
+                    arr.nbytes for arr in self._memory_checkpoint.values()
+                )
+        if self.metrics is not None:
+            self.metrics.counter("checkpoint.saves").add(1)
+            self.metrics.counter("checkpoint.bytes").add(nbytes)
+        sim.tracer.instant("checkpoint", step=sim.step_count)
         self._checkpoint_step = sim.step_count
 
     def _restore_checkpoint(self, sim) -> int:
@@ -218,3 +232,9 @@ class ResilienceManager:
                 sim.dm.evacuate(dead, alive=alive, costs=costs)
         sim.comm.record_restore(rank, nbytes)
         self.policy.note_restore(nbytes)
+        if self.metrics is not None:
+            self.metrics.counter("resilience.restores").add(1)
+            self.metrics.counter("resilience.restored_bytes").add(nbytes)
+        sim.tracer.instant(
+            "rank_restore", rank=rank, step=sim.step_count, nbytes=nbytes
+        )

@@ -262,6 +262,108 @@ def test_pic005_passes_consistent_init(tmp_path):
     assert lint_paths([str(pkg)], select=["PIC005"]) == []
 
 
+# -- PIC006: untimed kernel-phase calls in step drivers ----------------------
+
+def test_pic006_flags_untimed_kernel_call_in_driver(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "simulation.py",
+        "class Sim:\n"
+        "    def _step_body(self):\n"
+        "        fields = self._gather(self.sp)\n",
+        select=["PIC006"],
+    )
+    assert rule_ids(findings) == ["PIC006"]
+    assert "_gather()" in findings[0].message
+    assert findings[0].line == 3
+
+
+def test_pic006_accepts_timed_call(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "distributed.py",
+        "class Sim:\n"
+        "    def _finish_step(self):\n"
+        "        with self.timers.timer('fold'):\n"
+        "            fold_sources_global(self)\n"
+        "        with self._phase('redistribute'):\n"
+        "            redistribute_particles(self.per_box)\n"
+        "        with self.tracer.span('box'), self.timers.stopwatch() as sw:\n"
+        "            self._push_and_deposit_box(0)\n",
+        select=["PIC006"],
+    )
+    assert findings == []
+
+
+def test_pic006_timed_context_covers_nested_statements(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "simulation.py",
+        "class Sim:\n"
+        "    def _step_body(self):\n"
+        "        with self._phase('deposit'):\n"
+        "            for sp in self.species:\n"
+        "                if sp.n:\n"
+        "                    self._deposit(sp)\n",
+        select=["PIC006"],
+    )
+    assert findings == []
+
+
+def test_pic006_flags_untimed_call_inside_untimed_loop(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "mr_simulation.py",
+        "class Sim:\n"
+        "    def _advance_subcycled_patches(self):\n"
+        "        for patch in self.patches:\n"
+        "            self._advance_fields(patch)\n",
+        select=["PIC006"],
+    )
+    assert rule_ids(findings) == ["PIC006"]
+
+
+def test_pic006_ignores_hook_bodies_and_other_modules(tmp_path):
+    # the hook method itself is exempt: its call sites are what must be timed
+    findings = lint_snippet(
+        tmp_path,
+        "simulation.py",
+        "class Sim:\n"
+        "    def _gather(self, sp):\n"
+        "        return gather_fields(self.grid, sp)\n",
+        select=["PIC006"],
+    )
+    assert findings == []
+    # and non-driver modules are out of scope entirely
+    findings = lint_snippet(
+        tmp_path,
+        "helpers.py",
+        "def _step_body(self):\n"
+        "    self._gather(self.sp)\n",
+        select=["PIC006"],
+    )
+    assert findings == []
+
+
+def test_pic006_pragma_suppresses(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "simulation.py",
+        "class Sim:\n"
+        "    def _step_body(self):\n"
+        "        self._gather(self.sp)  # repro: allow(PIC006)\n",
+        select=["PIC006"],
+    )
+    assert findings == []
+
+
+def test_pic006_clean_on_real_drivers():
+    for rel in ("core/simulation.py", "core/mr_simulation.py",
+                "parallel/distributed.py"):
+        path = os.path.join(SRC_REPRO, rel)
+        assert lint_paths([path], select=["PIC006"]) == []
+
+
 # -- driver / pragmas / CLI --------------------------------------------------
 
 def test_collect_pragmas_parses_rule_lists():

@@ -1,0 +1,197 @@
+"""End-to-end observability: attach_observability on the real simulation
+classes, and the acceptance contracts — span hierarchy per rank, metrics
+that match the communicator/load-balancer internals exactly, and a trace
+that survives the export → CLI round trip."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.constants import m_e, plasma_wavelength, q_e
+from repro.core.mr_simulation import MRSimulation
+from repro.grid.maxwell import cfl_dt
+from repro.grid.yee import YeeGrid
+from repro.observability import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    attach_observability,
+)
+from repro.observability.cli import main as cli_main
+from repro.observability.tracer import NULL_TRACER, build_tree, read_jsonl
+from repro.parallel.distributed import DistributedSimulation
+from repro.particles.injection import UniformProfile
+from repro.particles.species import Species
+from repro.scenarios.uniform_plasma import build_uniform_plasma
+
+
+def make_distributed(n_ranks=2, n_cells=8, **kwargs):
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    sim = DistributedSimulation(
+        (n_cells, n_cells), (0.0, 0.0), (length, length),
+        n_ranks=n_ranks, max_grid_size=n_cells // 2, cfl=0.9, shape_order=2,
+        **kwargs,
+    )
+    proto = Species("electrons", charge=-q_e, mass=m_e, ndim=2)
+    sim.add_species(proto, profile=UniformProfile(n0), ppc=(1, 1))
+    return sim
+
+
+def test_simulations_default_to_null_tracer():
+    sim, _ = build_uniform_plasma((8, 8), ppc=1)
+    assert sim.tracer is NULL_TRACER and sim.metrics is None
+    sim.step(1)  # instrumented step code runs fine without a recorder
+    assert sim.tracer.records == []
+
+
+def test_traced_single_simulation_has_step_phase_hierarchy():
+    sim, _ = build_uniform_plasma((8, 8), ppc=1)
+    tracer, metrics = attach_observability(sim)
+    assert sim.tracer is tracer and sim.metrics is metrics
+    sim.step(3)
+
+    children = build_tree(tracer.records)
+    roots = children[-1]
+    assert [r.name for r in roots] == ["step"] * 3
+    assert [r.attrs["step"] for r in roots] == [0, 1, 2]
+    phases = {c.name for c in children[root.sid]} if (root := roots[0]) else set()
+    assert {"gather", "push", "deposit", "maxwell"} <= phases
+    gather = next(c for c in children[roots[0].sid] if c.name == "gather")
+    assert gather.attrs["species"] == "electrons"
+    # phase spans and the legacy timers see the same intervals
+    assert sim.timers.counts["maxwell"] == 3
+
+    snap = metrics.snapshot()
+    assert snap["particles.pushed"] == 3 * sim.total_particles()
+    assert snap["step.seconds"]["count"] == 3
+
+
+def test_traced_mr_simulation_emits_level_spans():
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    n_cells = 32
+    g = YeeGrid((n_cells,), (0.0,), (length,), guards=4)
+    sim = MRSimulation(
+        g, dt=cfl_dt((length / n_cells,), 0.9), shape_order=2,
+        smoothing_passes=0,
+    )
+    e = Species("electrons", charge=-q_e, mass=m_e, ndim=1)
+    sim.add_species(e, profile=UniformProfile(n0), ppc=4)
+    sim.add_patch((n_cells // 4,), (3 * n_cells // 4,), ratio=2, subcycle=True)
+    tracer, _ = attach_observability(sim)
+    sim.step(2)
+
+    children = build_tree(tracer.records)
+    by_id = {r.sid: r for r in tracer.records}
+    steps = children[-1]
+    assert [r.name for r in steps] == ["step", "step"]
+    # the subcycled patch advance is a direct step phase...
+    sub = next(c for c in children[steps[0].sid] if c.name == "mr_subcycle")
+    assert sub.attrs == {"level": 1, "patch": 0, "ratio": 2}
+    # ...while restriction/fine-fields nest inside their coarse phases
+    restrict = next(r for r in tracer.records if r.name == "mr_restrict")
+    assert by_id[restrict.parent].name == "finalize_deposits"
+    assert restrict.attrs["level"] == 1
+    fine = next(r for r in tracer.records if r.name == "mr_fields")
+    assert by_id[fine.parent].name == "maxwell"
+
+
+def test_distributed_metrics_match_comm_and_lb_internals():
+    """Acceptance: comm bytes per rank pair and the imbalance gauge equal
+    the SimComm / DistributionMapping numbers exactly."""
+    sim = make_distributed(n_ranks=2, dynamic_lb=True, lb_interval=3)
+    tracer, metrics = attach_observability(sim, snapshot_interval=2)
+    sim.step(6)
+
+    snap = metrics.snapshot()
+    for (src, dst), nbytes in sim.comm.pair_bytes.items():
+        mid = f"comm.pair_bytes{{dst={dst},src={src}}}"
+        assert snap[mid] == pytest.approx(float(nbytes))
+    assert snap["comm.messages"] == float(sim.comm.messages_sent.sum())
+    assert snap["comm.collectives"] == float(sim.comm.collective_calls)
+    assert snap["particles.pushed"] == 6 * sim.total_particles()
+    assert snap["halo.guard_cells"] == 6 * sum(o[2] for o in sim.overlaps) * 9
+
+    costs = sim.cost_model.measured(range(len(sim.boxes)), default=0.0)
+    assert snap["lb.imbalance"] == pytest.approx(sim.dm.imbalance(costs))
+    # snapshot_interval=2 over 6 steps -> 3 interleaved snapshots
+    assert [m["step"] for m in tracer.metric_records] == [2, 4, 6]
+
+
+def test_distributed_spans_carry_rank_and_box():
+    sim = make_distributed(n_ranks=2)
+    tracer, _ = attach_observability(sim)
+    sim.step(2)
+
+    children = build_tree(tracer.records)
+    steps = children[-1]
+    assert [r.name for r in steps] == ["step", "step"]
+    # box spans nest inside the "particles" phase of their step
+    particles = next(c for c in children[steps[0].sid] if c.name == "particles")
+    boxes = [c for c in children[particles.sid] if c.name == "box"]
+    assert len(boxes) == len(sim.boxes)
+    for span in boxes:
+        assert span.rank == sim.dm.rank_of(span.attrs["box"])
+    assert len(sim.timers.step_times) == 2  # lap history now populated
+
+
+def test_distributed_trace_round_trips_through_cli(tmp_path):
+    """Acceptance: traced run -> JSONL -> CLI summary renders; Chrome
+    export is valid trace_event JSON with one lane per rank."""
+    sim = make_distributed(n_ranks=2, dynamic_lb=True, lb_interval=2)
+    tracer, _ = attach_observability(sim, snapshot_interval=2)
+    sim.step(4)
+
+    jsonl = str(tmp_path / "run.jsonl")
+    chrome = str(tmp_path / "run.json")
+    tracer.to_jsonl(jsonl)
+    tracer.to_chrome(chrome)
+
+    spans, mrecs = read_jsonl(jsonl)
+    assert len(spans) == len(tracer.records)
+    assert build_tree(spans).keys() == build_tree(tracer.records).keys()
+
+    stream = io.StringIO()
+    assert cli_main([jsonl, "--tree"], stream=stream) == 0
+    out = stream.getvalue()
+    assert "top spans (by self time):" in out
+    assert "comm bytes (src -> dst):" in out
+    assert "span hierarchy" in out
+
+    with open(chrome) as fh:
+        events = json.load(fh)["traceEvents"]
+    assert {e["pid"] for e in events if e["name"] == "box"} == {0, 1}
+
+
+def test_run_report_from_distributed():
+    sim = make_distributed(n_ranks=2)
+    attach_observability(sim)
+    sim.step(3)
+    report = RunReport.from_distributed(sim)
+    assert report.comm_matrix.shape == (2, 2)
+    assert report.comm_matrix.sum() == float(sim.comm.total_bytes())
+    assert report.imbalance >= 1.0
+    text = report.render()
+    assert "rank balance" in text and "comm bytes (src -> dst):" in text
+    assert "imbalance (max/mean):" in text
+
+
+def test_attach_accepts_preconfigured_recorders():
+    sim = make_distributed(n_ranks=2)
+    mine_t, mine_m = Tracer(enabled=True, rank=0), MetricsRegistry()
+    tracer, metrics = attach_observability(sim, tracer=mine_t, metrics=mine_m)
+    assert tracer is mine_t and metrics is mine_m
+
+
+def test_resilience_checkpoint_metrics():
+    sim = make_distributed(n_ranks=2, checkpoint_interval=50)
+    _, metrics = attach_observability(sim)
+    sim.step(2)
+    before = metrics.snapshot()
+    sim.resilience.save_checkpoint(sim)
+    delta = metrics.delta(before)
+    assert delta["checkpoint.saves"] == 1.0
+    assert delta["checkpoint.bytes"] > 0
