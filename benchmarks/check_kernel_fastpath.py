@@ -1,0 +1,109 @@
+"""CI gate: the tiled kernel fast path must beat the np.add.at baseline.
+
+The dispatch registry (:mod:`repro.particles.kernels`) only earns its keep
+if selecting ``kernels="tiled"`` is both *safe* and *profitable*.  This
+script enforces the two halves of that contract on the Sec. V.A.1
+benchmark workload (2D uniform plasma, order-3 shapes, Morton-sorted at
+cell granularity):
+
+1. cross-validates every registered variant against ``vectorized`` with
+   :func:`~repro.particles.kernels.validate_kernel_set` across all
+   dimensionalities — any deviation beyond machine precision fails;
+2. times the Esirkepov current deposition (the production deposit, where
+   ``np.add.at`` hurts most) and the field gather for both variants, and
+   fails (exit 1) if the tiled deposition is not measurably faster than
+   the ``np.add.at`` baseline;
+3. reports the gather margin informationally.
+
+Run:  PYTHONPATH=src python benchmarks/check_kernel_fastpath.py
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.constants import q_e
+from repro.particles.deposit import (
+    deposit_current_esirkepov,
+    deposit_current_esirkepov_tiled,
+)
+from repro.particles.gather import gather_fields, gather_fields_tiled
+from repro.particles.kernels import available_kernel_variants, validate_kernel_set
+from repro.particles.sorting import sort_species_by_bin
+from repro.scenarios.uniform_plasma import build_uniform_plasma
+
+#: worst scale-normalized deviation any variant may show vs. vectorized
+NUMERIC_TOLERANCE = 1e-12
+#: required margin of the tiled deposition over np.add.at (1.05 = 5%)
+REQUIRED_DEPOSIT_SPEEDUP = 1.05
+ORDER = 3
+WORKLOAD = dict(n_cells=(24, 24), ppc=4, shape_order=ORDER, temperature_uth=0.05)
+
+
+def best_of(fn, rounds: int = 7) -> float:
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    failures = 0
+    print("kernel variant cross-validation (worst deviation vs vectorized):")
+    for name in available_kernel_variants():
+        if name == "vectorized":
+            continue
+        for ndim in (1, 2, 3):
+            errors = validate_kernel_set(name, ndim=ndim, order=ORDER)
+            worst = max(errors.values())
+            status = "ok" if worst < NUMERIC_TOLERANCE else "FAIL"
+            if worst >= NUMERIC_TOLERANCE:
+                failures += 1
+            print(f"  {name:11s} ndim={ndim}: {worst:9.2e}  {status}")
+
+    sim, electrons = build_uniform_plasma(**WORKLOAD)
+    sort_species_by_bin(electrons, sim.grid, tile_cells=1)
+    rng = np.random.default_rng(0)
+    for comp in ("Ex", "Ey", "Ez", "Bx", "By", "Bz"):
+        sim.grid.fields[comp][...] = rng.normal(size=sim.grid.shape)
+    grid, dt = sim.grid, sim.dt
+    pos = electrons.positions
+    pos_new = pos + 0.2 * grid.dx[0]
+    vel = electrons.velocities()
+    w = electrons.weights
+
+    t_vec = best_of(lambda: deposit_current_esirkepov(
+        grid, pos, pos_new, vel, w, -q_e, dt, ORDER))
+    t_tiled = best_of(lambda: deposit_current_esirkepov_tiled(
+        grid, pos, pos_new, vel, w, -q_e, dt, ORDER))
+    dep_speedup = t_vec / t_tiled
+    g_vec = best_of(lambda: gather_fields(grid, pos, ORDER))
+    g_tiled = best_of(lambda: gather_fields_tiled(grid, pos, ORDER))
+    gather_speedup = g_vec / g_tiled
+
+    print(f"\ntiled fast path vs np.add.at baseline ({electrons.n} particles, "
+          f"order {ORDER}):")
+    print(f"  deposition: {t_vec * 1e3:8.3f} ms -> {t_tiled * 1e3:8.3f} ms  "
+          f"({dep_speedup:.2f}x)")
+    print(f"  gather:     {g_vec * 1e3:8.3f} ms -> {g_tiled * 1e3:8.3f} ms  "
+          f"({gather_speedup:.2f}x, informational)")
+
+    if failures:
+        print(f"FAIL: {failures} variant/ndim combination(s) deviate beyond "
+              f"{NUMERIC_TOLERANCE:.0e}")
+        return 1
+    if dep_speedup < REQUIRED_DEPOSIT_SPEEDUP:
+        print(f"FAIL: tiled deposition speedup {dep_speedup:.2f}x is under "
+              f"the required {REQUIRED_DEPOSIT_SPEEDUP:.2f}x")
+        return 1
+    print(f"OK: tiled deposition beats np.add.at by {dep_speedup:.2f}x "
+          f"(>= {REQUIRED_DEPOSIT_SPEEDUP:.2f}x) at machine precision")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,6 +71,7 @@ RUNTIME_RULES = (
     ("SAN002", "particles outside the domain after boundaries"),
     ("SAN003", "guard cells diverge from their periodic image"),
     ("SAN004", "communicator not quiescent between steps"),
+    ("SAN005", "gather/deposit stencil outside the padded field array"),
 )
 
 

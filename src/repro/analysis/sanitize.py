@@ -13,6 +13,10 @@ SAN003  guard cells on periodic axes hold the exact periodic image of
 SAN004  the communicator is quiescent between steps: no undelivered
         messages and no unrecovered in-flight faults (lost or delayed
         messages left over by the resilient transport)
+SAN005  gather/deposit stencils stay inside the padded field arrays:
+        the flat-address arithmetic of the kernels would wrap a negative
+        base index around to the far end of the array and silently
+        corrupt fields for particles outside the guard region
 ======  ==================================================================
 
 Violations raise :class:`~repro.exceptions.SanitizerError` with the step
@@ -186,6 +190,40 @@ class Sanitizer:
                 f"SAN004 step {step}: unrecovered in-flight fault(s) at end "
                 f"of step ({lost} lost, {delayed} delayed message(s))"
             )
+
+    # -- SAN005 ------------------------------------------------------------
+    def check_stencil_bounds(
+        self,
+        kernel: str,
+        component: str,
+        base_indices: Sequence[np.ndarray],
+        width: int,
+        shape: Sequence[int],
+    ) -> None:
+        """Raise if any particle's stencil leaves the padded field array.
+
+        ``base_indices`` holds the per-axis first stencil point of each
+        particle; the stencil covers ``[base, base + width)``.  The
+        gather/deposit kernels address the field through flattened-index
+        arithmetic, where a negative base silently wraps to the far end
+        of the array — this check turns that corruption into an error.
+        """
+        for axis, base in enumerate(base_indices):
+            if base.size == 0:
+                continue
+            lo = int(base.min())
+            hi = int(base.max()) + int(width)
+            if lo < 0 or hi > int(shape[axis]):
+                bad = np.count_nonzero(
+                    (base < 0) | (base + width > shape[axis])
+                )
+                raise SanitizerError(
+                    f"SAN005: {bad} particle stencil(s) out of range in "
+                    f"{kernel} for {component} on axis {axis} (stencil "
+                    f"span [{lo}, {hi}) vs array extent {shape[axis]}); "
+                    "the flat-address arithmetic would wrap around and "
+                    "corrupt far-away samples"
+                )
 
     # -- convenience -------------------------------------------------------
     def check_species_map(

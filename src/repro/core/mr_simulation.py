@@ -38,8 +38,6 @@ from repro.constants import c
 from repro.core.mr_level import MRPatch
 from repro.core.simulation import Simulation, smooth_binomial
 from repro.exceptions import ConfigurationError
-from repro.particles.deposit import deposit_current_esirkepov
-from repro.particles.gather import gather_fields
 from repro.particles.pusher import lorentz_factor, push_positions
 from repro.particles.species import Species
 
@@ -95,14 +93,15 @@ class MRSimulation(Simulation):
 
     # -- level-aware hooks ---------------------------------------------------
     def _gather(self, species: Species):
-        e_f, b_f = gather_fields(self.grid, species.positions, self.shape_order)
+        gather = self.kernel_set.gather
+        e_f, b_f = gather(self.grid, species.positions, self.shape_order)
         for patch in self.patches:
             if patch.subcycle:
                 continue  # in-patch particles were extracted for substeps
             mask = patch.interior_mask(species.positions)
             if not np.any(mask):
                 continue
-            e_p, b_p = gather_fields(
+            e_p, b_p = gather(
                 patch.aux, species.positions[mask], self.shape_order
             )
             e_f[mask] = e_p
@@ -121,7 +120,7 @@ class MRSimulation(Simulation):
                 & remaining
             )
             if np.any(mask):
-                deposit_current_esirkepov(
+                self.kernel_set.deposit_current(
                     patch.fine,
                     x_old[mask],
                     x_new[mask],
@@ -136,7 +135,7 @@ class MRSimulation(Simulation):
             if np.all(remaining):
                 super()._deposit(species, x_old, x_new, velocities)
             else:
-                deposit_current_esirkepov(
+                self.kernel_set.deposit_current(
                     self.grid,
                     x_old[remaining],
                     x_new[remaining],
@@ -215,7 +214,7 @@ class MRSimulation(Simulation):
                     for holder in holders.values():
                         if holder.n == 0:
                             continue
-                        e_f, b_f = gather_fields(
+                        e_f, b_f = self.kernel_set.gather(
                             patch.aux, holder.positions, self.shape_order
                         )
                         holder.momenta = self._push_momenta(
@@ -229,7 +228,7 @@ class MRSimulation(Simulation):
                         vel = holder.momenta * (
                             c / lorentz_factor(holder.momenta)
                         )[:, None]
-                        deposit_current_esirkepov(
+                        self.kernel_set.deposit_current(
                             patch.fine,
                             x_old,
                             holder.positions,

@@ -36,9 +36,8 @@ from repro.grid.yee import FIELD_COMPONENTS, SOURCE_COMPONENTS, YeeGrid
 from repro.core.moving_window import MovingWindow
 from repro.observability.tracer import NULL_TRACER, phase_span
 from repro.laser.antenna import LaserAntenna
-from repro.particles.deposit import deposit_current_direct, deposit_current_esirkepov
-from repro.particles.gather import gather_fields
 from repro.particles.injection import DensityProfile, inject_plasma
+from repro.particles.kernels import get_kernel_set
 from repro.particles.pusher import lorentz_factor, push_boris, push_positions, push_vay
 from repro.particles.shapes import required_guards
 from repro.particles.sorting import sort_species_by_bin
@@ -101,6 +100,12 @@ class Simulation:
         ``"boris"`` or ``"vay"``.
     deposition:
         ``"esirkepov"`` (charge-conserving, default) or ``"direct"``.
+    kernels:
+        Gather/deposit kernel variant from :mod:`repro.particles.kernels`
+        (``"vectorized"`` default, ``"tiled"`` for the sort-aware fast
+        path, ``"reference"`` for the scalar baseline).  All variants
+        compute identical physics; the active name is recorded on the
+        gather/deposit tracer spans.
     boundaries:
         Per-axis boundary family from ``("periodic", "pml", "damped",
         "open")``; a single string applies to every axis.
@@ -123,6 +128,7 @@ class Simulation:
         shape_order: int = 2,
         pusher: str = "boris",
         deposition: str = "esirkepov",
+        kernels: str = "vectorized",
         boundaries="periodic",
         n_absorber: int = 8,
         smoothing_passes: int = 1,
@@ -145,6 +151,9 @@ class Simulation:
         if deposition not in ("esirkepov", "direct"):
             raise ConfigurationError(f"unknown deposition {deposition!r}")
         self.deposition = deposition
+        #: gather/deposit kernel variant (resolved against the registry)
+        self.kernels = kernels
+        self.kernel_set = get_kernel_set(kernels)
         if isinstance(boundaries, str):
             boundaries = (boundaries,) * grid.ndim
         if len(boundaries) != grid.ndim:
@@ -251,7 +260,9 @@ class Simulation:
 
     # -- hooks overridden by the MR simulation ------------------------------
     def _gather(self, species: Species) -> Tuple[np.ndarray, np.ndarray]:
-        return gather_fields(self.grid, species.positions, self.shape_order)
+        return self.kernel_set.gather(
+            self.grid, species.positions, self.shape_order
+        )
 
     def _deposit(
         self,
@@ -261,7 +272,7 @@ class Simulation:
         velocities: np.ndarray,
     ) -> None:
         if self.deposition == "esirkepov":
-            deposit_current_esirkepov(
+            self.kernel_set.deposit_current(
                 self.grid,
                 x_old,
                 x_new,
@@ -272,7 +283,7 @@ class Simulation:
                 self.shape_order,
             )
         else:
-            deposit_current_direct(
+            self.kernel_set.deposit_current_direct(
                 self.grid,
                 0.5 * (x_old + x_new),
                 velocities,
@@ -323,7 +334,7 @@ class Simulation:
             sp = entry.species
             if sp.n == 0:
                 continue
-            with self._phase("gather", species=sp.name):
+            with self._phase("gather", species=sp.name, kernel=self.kernels):
                 e_f, b_f = self._gather(sp)
             with self._phase("push", species=sp.name):
                 sp.momenta = self._push_momenta(
@@ -331,7 +342,7 @@ class Simulation:
                 )
                 x_old = sp.positions
                 sp.positions = push_positions(x_old, sp.momenta, self.dt, g.ndim)
-            with self._phase("deposit", species=sp.name):
+            with self._phase("deposit", species=sp.name, kernel=self.kernels):
                 vel = sp.momenta * (c / lorentz_factor(sp.momenta))[:, None]
                 self._deposit(sp, x_old, sp.positions, vel)
 

@@ -4,14 +4,33 @@ deposition kernels (vectorized and scalar-reference variants), particle
 sorting and plasma injection."""
 
 from repro.particles.species import Species
-from repro.particles.shapes import bspline, shape_weights, required_guards
+from repro.particles.shapes import (
+    ShapeWeightCache,
+    bspline,
+    shape_weights,
+    required_guards,
+)
 from repro.particles.pusher import push_boris, push_vay, push_positions, lorentz_factor
-from repro.particles.gather import gather_fields, gather_fields_reference
+from repro.particles.gather import (
+    gather_fields,
+    gather_fields_reference,
+    gather_fields_tiled,
+)
 from repro.particles.deposit import (
     deposit_current_esirkepov,
+    deposit_current_esirkepov_tiled,
     deposit_current_direct,
+    deposit_current_direct_tiled,
     deposit_charge,
+    deposit_charge_tiled,
     deposit_current_reference,
+)
+from repro.particles.kernels import (
+    KernelSet,
+    available_kernel_variants,
+    get_kernel_set,
+    register_kernel_set,
+    validate_kernel_set,
 )
 from repro.particles.sorting import morton_bin_particles, sort_species_by_bin
 from repro.particles.splitting import split_particles, merge_particles
@@ -28,6 +47,7 @@ from repro.particles.injection import (
 
 __all__ = [
     "Species",
+    "ShapeWeightCache",
     "bspline",
     "shape_weights",
     "required_guards",
@@ -37,10 +57,19 @@ __all__ = [
     "lorentz_factor",
     "gather_fields",
     "gather_fields_reference",
+    "gather_fields_tiled",
     "deposit_current_esirkepov",
+    "deposit_current_esirkepov_tiled",
     "deposit_current_direct",
+    "deposit_current_direct_tiled",
     "deposit_charge",
+    "deposit_charge_tiled",
     "deposit_current_reference",
+    "KernelSet",
+    "available_kernel_variants",
+    "get_kernel_set",
+    "register_kernel_set",
+    "validate_kernel_set",
     "morton_bin_particles",
     "sort_species_by_bin",
     "split_particles",

@@ -12,11 +12,13 @@ Two entry points:
   used by the Esirkepov deposition and by property tests.
 * :func:`shape_weights` — per-particle stencil base index and weight table
   for gather/scatter on a sample lattice.
+* :class:`ShapeWeightCache` — memoizes :func:`shape_weights` over the two
+  distinct stagger offsets per axis, shared across field components.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -96,3 +98,41 @@ def shape_weights(x: np.ndarray, order: int) -> Tuple[np.ndarray, np.ndarray]:
         w[:, 3] = f**3 / 6.0
         return i0, w
     raise ConfigurationError(f"unsupported shape order {order}")
+
+
+class ShapeWeightCache:
+    """Per-axis stencil weight tables memoized over the stagger offsets.
+
+    A Yee lattice exposes exactly two sample lattices per axis — nodal
+    (stagger 0) and half-cell shifted (stagger 1) — yet the six-component
+    field gather evaluates :func:`shape_weights` once per component per
+    axis (``6 * ndim`` calls).  The cache keys on ``(axis, stagger)``, so
+    at most ``2 * ndim`` weight tables are ever computed per particle
+    population; the remaining lookups are dictionary hits.
+
+    The staggered coordinate is derived as ``nodal - 0.5`` — the same
+    floating point operations :func:`repro.particles.gather.lattice_coords`
+    performs — so cached gathers are bit-identical to uncached ones.
+    """
+
+    def __init__(self, nodal_coords: Sequence[np.ndarray], order: int) -> None:
+        self._nodal = nodal_coords
+        self.order = int(order)
+        self._tables: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, axis: int, stagger: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(i0, w) of :func:`shape_weights` on the requested sample lattice."""
+        key = (int(axis), int(stagger))
+        table = self._tables.get(key)
+        if table is None:
+            x = self._nodal[axis]
+            if stagger:
+                x = x - 0.5
+            table = shape_weights(x, self.order)
+            self._tables[key] = table
+            self.misses += 1
+        else:
+            self.hits += 1
+        return table

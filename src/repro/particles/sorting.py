@@ -13,33 +13,65 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.grid.yee import YeeGrid
 from repro.particles.species import Species
 
+#: interleavable bits per axis: 64-bit codes hold 2 x 32 bits in 2D and
+#: 3 x 21 bits in 3D (1D codes are the raw 64-bit index)
+MORTON_AXIS_BITS = {1: 64, 2: 32, 3: 21}
+
 
 def _part1by1(v: np.ndarray) -> np.ndarray:
-    """Spread the lower 16 bits of v so there is a 0 bit between each."""
-    v = v.astype(np.uint64) & np.uint64(0x0000FFFF)
-    v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF)
-    v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F)
-    v = (v | (v << np.uint64(2))) & np.uint64(0x33333333)
-    v = (v | (v << np.uint64(1))) & np.uint64(0x55555555)
+    """Spread the lower 32 bits of v so there is a 0 bit between each."""
+    v = v.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x3333333333333333)
+    v = (v | (v << np.uint64(1))) & np.uint64(0x5555555555555555)
     return v
 
 
 def _part1by2(v: np.ndarray) -> np.ndarray:
-    """Spread the lower 10 bits of v so there are 2 zero bits between each."""
-    v = v.astype(np.uint64) & np.uint64(0x3FF)
-    v = (v | (v << np.uint64(16))) & np.uint64(0x030000FF)
-    v = (v | (v << np.uint64(8))) & np.uint64(0x0300F00F)
-    v = (v | (v << np.uint64(4))) & np.uint64(0x030C30C3)
-    v = (v | (v << np.uint64(2))) & np.uint64(0x09249249)
+    """Spread the lower 21 bits of v so there are 2 zero bits between each."""
+    v = v.astype(np.uint64) & np.uint64(0x1FFFFF)
+    v = (v | (v << np.uint64(32))) & np.uint64(0x001F00000000FFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x001F0000FF0000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x1249249249249249)
     return v
 
 
+def _check_morton_range(indices: Sequence[np.ndarray], bits: int) -> None:
+    """Reject tile indices the interleave masks would silently alias."""
+    limit = 1 << bits
+    for axis, idx in enumerate(indices):
+        if idx.size == 0:
+            continue
+        lo = int(idx.min())
+        hi = int(idx.max())
+        if lo < 0 or hi >= limit:
+            raise ConfigurationError(
+                f"Morton tile index out of range on axis {axis}: "
+                f"[{lo}, {hi}] does not fit the {bits}-bit interleave "
+                f"({len(indices)}D codes support at most {limit} tiles "
+                f"per axis)"
+            )
+
+
 def morton_encode(indices: Sequence[np.ndarray]) -> np.ndarray:
-    """Morton (Z-order) code of integer tile coordinates (1, 2 or 3 axes)."""
+    """Morton (Z-order) code of integer tile coordinates (1, 2 or 3 axes).
+
+    Codes are 64-bit wide: 21 bits per axis in 3D, 32 in 2D.  Indices
+    beyond that range raise :class:`ConfigurationError` instead of being
+    silently masked (aliased bins destroy the sort locality the fast
+    deposition path relies on).
+    """
     ndim = len(indices)
+    indices = [np.asarray(idx) for idx in indices]
+    _check_morton_range(indices, MORTON_AXIS_BITS[ndim])
     if ndim == 1:
         return indices[0].astype(np.uint64)
     if ndim == 2:

@@ -112,22 +112,35 @@ class Species:
         return removed
 
     def select(self, mask: np.ndarray) -> "Species":
-        """A new species holding copies of the particles where ``mask``."""
+        """A new species holding copies of the particles where ``mask``.
+
+        The selection inherits the source's id counter, so particles
+        added to it later can never collide with the copied ids.
+        """
         out = Species(self.name, self.charge, self.mass, self.ndim, self.dtype)
         out.positions = self.positions[mask].copy()
         out.momenta = self.momenta[mask].copy()
         out.weights = self.weights[mask].copy()
         out.ids = self.ids[mask].copy()
+        out._next_id = self._next_id
         return out
 
     def extend(self, other: "Species") -> None:
-        """Absorb the particles of ``other`` (ids are preserved)."""
+        """Absorb the particles of ``other`` (ids are preserved).
+
+        The id counter advances past every absorbed id: a rank that
+        receives migrated particles and then injects fresh plasma (the
+        moving window) must not reuse the ids it just absorbed.
+        """
         if other.ndim != self.ndim:
             raise ConfigurationError("cannot extend across dimensionalities")
         self.positions = np.concatenate([self.positions, other.positions])
         self.momenta = np.concatenate([self.momenta, other.momenta])
         self.weights = np.concatenate([self.weights, other.weights])
         self.ids = np.concatenate([self.ids, other.ids])
+        self._next_id = max(self._next_id, other._next_id)
+        if other.ids.size:
+            self._next_id = max(self._next_id, int(other.ids.max()) + 1)
 
     def reorder(self, permutation: np.ndarray) -> None:
         """Apply an index permutation in place (used by particle sorting)."""

@@ -24,6 +24,15 @@ from repro.exceptions import ConfigurationError
 #: cross-particle cache reuse of gather/deposit field traffic
 CACHE_REUSE = 2.5
 
+#: the kernel variants of :mod:`repro.particles.kernels` the counts model
+KERNEL_VARIANTS = ("vectorized", "tiled")
+
+#: effective scatter-traffic compression of the tiled deposition: the
+#: segmented reduction collapses per-tile runs of equal addresses before
+#: touching DRAM, so each grid point is read-modified-written roughly
+#: once per *run* (~ppc contributions) instead of once per contribution
+TILED_RUN_COMPRESSION = 2.0
+
 #: the workload whose Table III rates calibrate the model: the uniform
 #: plasma weak-scaling benchmark (3D, quadratic shapes, 2 ppc)
 CALIBRATION_WORKLOAD = {"order": 2, "ndim": 3, "ppc": 2.0}
@@ -47,19 +56,34 @@ class KernelCounts:
         return KernelCounts(self.flops * factor, self.bytes * factor)
 
 
-def _check(order: int, ndim: int) -> None:
+def _check(order: int, ndim: int, variant: str = "vectorized") -> None:
     if order not in (1, 2, 3):
         raise ConfigurationError(f"unsupported shape order {order}")
     if ndim not in (1, 2, 3):
         raise ConfigurationError(f"unsupported ndim {ndim}")
+    if variant not in KERNEL_VARIANTS:
+        raise ConfigurationError(
+            f"unsupported kernel variant {variant!r}; "
+            f"modelled: {KERNEL_VARIANTS}"
+        )
 
 
-def gather_counts(order: int, ndim: int, itemsize: int = 8) -> KernelCounts:
-    """Field gather per particle: 6 components, (order+1)^ndim points each."""
-    _check(order, ndim)
+def gather_counts(
+    order: int, ndim: int, itemsize: int = 8, variant: str = "vectorized"
+) -> KernelCounts:
+    """Field gather per particle: 6 components, (order+1)^ndim points each.
+
+    The ``tiled`` variant shares the per-axis shape weights across the six
+    components (two distinct stagger offsets per axis), cutting the weight
+    evaluation from ``6 * ndim`` to ``2 * ndim`` per particle; traffic is
+    unchanged.
+    """
+    _check(order, ndim, variant)
     pts = (order + 1) ** ndim
-    # per-axis weight evaluation: ~8 flops per weight entry
-    weight_flops = 6 * ndim * 8 * (order + 1)
+    # per-axis weight evaluation: ~8 flops per weight entry; the tiled
+    # shape-weight cache evaluates each of the 2 stagger lattices once
+    weight_evals = 2 * ndim if variant == "tiled" else 6 * ndim
+    weight_flops = weight_evals * 8 * (order + 1)
     # accumulation: one FMA per stencil point per component, plus the
     # per-point weight product (ndim-1 multiplies)
     accum_flops = 6 * pts * (2 + (ndim - 1))
@@ -78,10 +102,21 @@ def push_counts(itemsize: int = 8) -> KernelCounts:
     return KernelCounts(flops, bytes_)
 
 
-def deposit_counts(order: int, ndim: int, itemsize: int = 8) -> KernelCounts:
-    """Esirkepov current deposition per particle."""
-    _check(order, ndim)
-    k = order + 3  # window size per axis
+def deposit_counts(
+    order: int, ndim: int, itemsize: int = 8, variant: str = "vectorized"
+) -> KernelCounts:
+    """Esirkepov current deposition per particle.
+
+    The ``tiled`` variant models the fast path: the minimal
+    ``order + 2``-point window (the dropped ``order + 3`` column is
+    always exactly zero) shrinks every per-axis count, and the
+    segmented-reduction scatter pre-sums sorted per-tile runs in
+    registers/cache, dividing the grid read-modify-write traffic by
+    :data:`TILED_RUN_COMPRESSION` (additions are reassociated, never
+    dropped).
+    """
+    _check(order, ndim, variant)
+    k = order + 2 if variant == "tiled" else order + 3  # window per axis
     pts = k**ndim
     # S0/S1 evaluation: 2 * ndim * K spline evaluations, ~10 flops each
     spline_flops = 2 * ndim * k * 10
@@ -90,6 +125,8 @@ def deposit_counts(order: int, ndim: int, itemsize: int = 8) -> KernelCounts:
     # scatter: 1 add per point per current component
     scatter_flops = ndim * pts
     field_bytes = ndim * pts * 2 * itemsize / CACHE_REUSE  # read-modify-write
+    if variant == "tiled":
+        field_bytes /= TILED_RUN_COMPRESSION
     particle_bytes = (2 * ndim + 3 + 1) * itemsize  # x_old, x_new, v, w
     return KernelCounts(
         spline_flops + w_flops + scatter_flops, field_bytes + particle_bytes
@@ -119,13 +156,16 @@ def pic_step_counts(
     ppc: float = 1.0,
     smoothing_passes: int = 0,
     itemsize: int = 8,
+    variant: str = "vectorized",
 ) -> KernelCounts:
     """Total flops/bytes of one PIC step *per cell*, with ``ppc`` particles.
 
     This is the quantity the roofline model multiplies by cells/device.
     """
-    per_particle = gather_counts(order, ndim, itemsize) + push_counts(itemsize)
-    per_particle = per_particle + deposit_counts(order, ndim, itemsize)
+    per_particle = gather_counts(order, ndim, itemsize, variant) + push_counts(
+        itemsize
+    )
+    per_particle = per_particle + deposit_counts(order, ndim, itemsize, variant)
     per_cell = maxwell_counts(ndim, itemsize)
     if smoothing_passes:
         per_cell = per_cell + smoothing_counts(ndim, smoothing_passes, itemsize)

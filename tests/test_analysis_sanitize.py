@@ -199,3 +199,53 @@ def test_mr_simulation_checks_patch_fields(monkeypatch):
         sim.step()
     msg = str(excinfo.value)
     assert "SAN001" in msg and "Bz" in msg and "patch 0" in msg and "fine" in msg
+
+
+# -- SAN005: gather/deposit stencils stay inside the padded arrays -----------
+
+def test_san005_unit_check_passes_in_range():
+    base = [np.array([0, 2, 5]), np.array([1, 3, 4])]
+    Sanitizer().check_stencil_bounds("gather_fields", "Ex", base, 4, (9, 8))
+
+
+def test_san005_unit_check_names_kernel_component_axis():
+    base = [np.array([2]), np.array([-1])]
+    with pytest.raises(SanitizerError) as excinfo:
+        Sanitizer().check_stencil_bounds("deposit_charge", "rho", base, 4, (9, 9))
+    msg = str(excinfo.value)
+    assert "SAN005" in msg and "deposit_charge" in msg and "rho" in msg
+    assert "axis 1" in msg
+
+
+def test_san005_trips_on_gather_outside_padding(monkeypatch):
+    """Regression: the flat-address arithmetic wraps a negative base index
+    to the far end of the raveled array, so an out-of-range gather used to
+    read silently from the wrong cells instead of failing."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    from repro.particles.gather import gather_fields
+
+    g = YeeGrid((8,), (0.0,), (8.0,), guards=1)
+    pos = np.array([[-3.5]])  # order-3 stencil reaches past the single guard
+    with pytest.raises(SanitizerError, match="SAN005"):
+        gather_fields(g, pos, order=3)
+
+
+def test_san005_trips_on_deposit_outside_padding(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    from repro.particles.deposit import deposit_charge, deposit_charge_tiled
+
+    g = YeeGrid((8,), (0.0,), (8.0,), guards=1)
+    pos = np.array([[11.5]])
+    with pytest.raises(SanitizerError, match="SAN005"):
+        deposit_charge(g, pos, np.ones(1), -q_e, order=3)
+    with pytest.raises(SanitizerError, match="SAN005"):
+        deposit_charge_tiled(g, pos, np.ones(1), -q_e, order=3)
+
+
+def test_san005_silent_without_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    from repro.particles.gather import gather_fields
+
+    g = YeeGrid((8,), (0.0,), (8.0,), guards=1)
+    e, b = gather_fields(g, np.array([[-3.5]]), order=3)  # wraps, no raise
+    assert e.shape == (1, 3)

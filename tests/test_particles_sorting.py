@@ -72,3 +72,36 @@ def test_bins_monotone_after_sort():
     sort_species_by_bin(s, g, tile_cells=2)
     codes = morton_bin_particles(s, g, tile_cells=2)
     assert np.all(np.diff(codes.astype(np.int64)) >= 0)
+
+
+# -- Morton interleave width regressions -------------------------------------
+
+def test_morton_3d_wide_tile_indices_do_not_alias():
+    """Regression: the 3D interleave used to mask each axis to 10 bits,
+    silently aliasing tile index 1024 to 0 — particles a thousand tiles
+    apart shared a bin on large grids."""
+    z = np.zeros(4, dtype=np.int64)
+    idx = np.array([0, 1024, 2048, (1 << 21) - 1])
+    codes = morton_encode([idx, z, z])
+    assert len(np.unique(codes)) == idx.size
+    assert np.all(np.diff(codes.astype(object)) > 0)
+
+
+def test_morton_2d_wide_tile_indices_do_not_alias():
+    """Same regression in 2D, where the old masks kept 16 bits."""
+    z = np.zeros(3, dtype=np.int64)
+    idx = np.array([0, 1 << 16, (1 << 32) - 1])
+    codes = morton_encode([idx, z])
+    assert len(np.unique(codes)) == idx.size
+
+
+def test_morton_overflow_raises_instead_of_aliasing():
+    from repro.exceptions import ConfigurationError
+
+    z = np.zeros(1, dtype=np.int64)
+    with np.testing.assert_raises(ConfigurationError):
+        morton_encode([np.array([1 << 21]), z, z])
+    with np.testing.assert_raises(ConfigurationError):
+        morton_encode([np.array([1 << 32]), z])
+    with np.testing.assert_raises(ConfigurationError):
+        morton_encode([np.array([-1]), z])

@@ -103,3 +103,31 @@ def test_bad_construction():
         Species("e", ndim=4)
     with pytest.raises(ConfigurationError):
         Species("e", mass=-1.0)
+
+
+# -- id-counter regressions (migration + injection) --------------------------
+
+def test_extend_advances_id_counter_past_absorbed_ids():
+    """Regression: ``extend`` used to leave ``_next_id`` untouched, so a
+    rank that absorbed migrated particles and then injected fresh plasma
+    handed out the ids it had just received."""
+    sender = Species("e", ndim=1)
+    sender.add_particles([[0.0], [1.0], [2.0]])  # ids 0, 1, 2
+    receiver = Species("e", ndim=1)
+    receiver.add_particles([[5.0]])  # id 0
+    migrated = sender.remove(np.array([False, True, True]))  # ids 1, 2
+    receiver.extend(migrated)
+    new_ids = receiver.add_particles([[6.0], [7.0]])
+    assert new_ids.min() >= 3
+    assert len(set(receiver.ids)) == receiver.n
+
+
+def test_select_inherits_id_counter():
+    """Regression: ``select`` used to return a species whose counter
+    restarted at 0, colliding with the copied ids on the next add."""
+    s = Species("e", ndim=1)
+    s.add_particles([[0.0], [1.0]])  # ids 0, 1
+    sub = s.select(np.array([True, True]))
+    new_ids = sub.add_particles([[2.0]])
+    assert new_ids[0] == 2
+    assert len(set(sub.ids)) == sub.n
