@@ -44,7 +44,8 @@ KERNEL_CALLS = frozenset(
         "sort_species_by_bin", "smooth_binomial",
         # parallel substrate
         "fold_sources_global", "assemble_global", "scatter_local",
-        "redistribute_particles", "account_halo_traffic",
+        "fold_sources_pairwise", "exchange_halos",
+        "redistribute_particles", "migrate_boxes",
     }
 )
 

@@ -20,7 +20,7 @@ dynamic load balancer.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -39,23 +39,40 @@ def _validate(costs: Sequence[float], n_ranks: int) -> np.ndarray:
     return costs
 
 
-def distribute_round_robin(costs: Sequence[float], n_ranks: int) -> np.ndarray:
-    """Assign box ``i`` to rank ``i % n_ranks``."""
+def _alive_ranks(n_ranks: int, exclude_ranks: Sequence[int]) -> List[int]:
+    """Ranks eligible for work: ``[0, n_ranks)`` minus the excluded set."""
+    excl: Set[int] = {int(r) for r in exclude_ranks}
+    alive = [r for r in range(n_ranks) if r not in excl]
+    if not alive:
+        raise DecompositionError(
+            f"all {n_ranks} ranks excluded; nothing left to assign work to"
+        )
+    return alive
+
+
+def distribute_round_robin(
+    costs: Sequence[float], n_ranks: int, exclude_ranks: Sequence[int] = ()
+) -> np.ndarray:
+    """Deal boxes to the eligible ranks in order (``i % n_alive``-th)."""
     costs = _validate(costs, n_ranks)
-    return np.arange(costs.size, dtype=np.intp) % n_ranks
+    alive = np.asarray(_alive_ranks(n_ranks, exclude_ranks), dtype=np.intp)
+    return alive[np.arange(costs.size, dtype=np.intp) % alive.size]
 
 
-def distribute_knapsack(costs: Sequence[float], n_ranks: int) -> np.ndarray:
+def distribute_knapsack(
+    costs: Sequence[float], n_ranks: int, exclude_ranks: Sequence[int] = ()
+) -> np.ndarray:
     """Longest-processing-time greedy multiway partition.
 
     Boxes are taken in decreasing cost order and each goes to the
-    currently least-loaded rank — the classic 4/3-approximate heuristic
-    for makespan minimization.
+    currently least-loaded eligible rank — the classic 4/3-approximate
+    heuristic for makespan minimization.  ``exclude_ranks`` (dead ranks
+    after a failure) never receive a box.
     """
     costs = _validate(costs, n_ranks)
     order = np.argsort(costs)[::-1]
     assignment = np.empty(costs.size, dtype=np.intp)
-    heap = [(0.0, r) for r in range(n_ranks)]
+    heap = [(0.0, r) for r in _alive_ranks(n_ranks, exclude_ranks)]
     heapq.heapify(heap)
     for i in order:
         load, rank = heapq.heappop(heap)
@@ -64,53 +81,82 @@ def distribute_knapsack(costs: Sequence[float], n_ranks: int) -> np.ndarray:
     return assignment
 
 
+def sfc_order(box_centers: np.ndarray) -> np.ndarray:
+    """Morton (Z-)order of fractional box centers.
+
+    Centers of integer boxes sit on half-integers, so they are encoded as
+    *doubled* integer coordinates (``2 * center``, exact for ``.0`` and
+    ``.5``) before interleaving.  Plain truncation aliased the centers of
+    odd-extent boxes onto one code (e.g. ``(1.0, 1.5)`` and ``(1.5, 1.0)``
+    both became ``(1, 1)``), silently corrupting the curve order into the
+    input order.
+    """
+    centers = np.asarray(box_centers, dtype=np.float64)
+    if centers.ndim == 1:
+        centers = centers[:, None]
+    doubled = np.rint(2.0 * centers).astype(np.int64)
+    codes = morton_encode([doubled[:, d] for d in range(centers.shape[1])])
+    return np.argsort(codes, kind="stable")
+
+
 def distribute_sfc(
     costs: Sequence[float],
     n_ranks: int,
     box_centers: Optional[np.ndarray] = None,
+    exclude_ranks: Sequence[int] = (),
 ) -> np.ndarray:
     """Morton-ordered contiguous split with balanced cumulative cost.
 
-    ``box_centers`` (n_boxes, ndim) are integer-ish box coordinates used
-    to compute the Morton order; if omitted, the boxes are assumed to be
-    already curve-ordered.  Contiguous curve segments go to consecutive
-    ranks, cutting whenever the running cost reaches the per-rank target —
-    WarpX's default strategy, minimizing guard-exchange partners.
+    ``box_centers`` (n_boxes, ndim) are box-center coordinates used to
+    compute the Morton order via :func:`sfc_order`; if omitted, the boxes
+    are assumed to be already curve-ordered.  Contiguous curve segments
+    go to consecutive eligible ranks, cutting whenever the running cost
+    reaches the per-rank target — WarpX's default strategy, minimizing
+    guard-exchange partners.
     """
     costs = _validate(costs, n_ranks)
+    alive = _alive_ranks(n_ranks, exclude_ranks)
     n = costs.size
     if box_centers is not None:
-        centers = np.asarray(box_centers)
-        codes = morton_encode(
-            [centers[:, d].astype(np.int64) for d in range(centers.shape[1])]
-        )
-        order = np.argsort(codes, kind="stable")
+        order = sfc_order(box_centers)
     else:
         order = np.arange(n)
     assignment = np.empty(n, dtype=np.intp)
     total = float(costs.sum())
-    target = total / n_ranks if total > 0 else 1.0
-    rank = 0
+    target = total / len(alive) if total > 0 else 1.0
+    seg = 0
     acc = 0.0
     for idx in order:
         # move to the next rank when the current one is full (never past the last)
-        if acc >= target and rank < n_ranks - 1:
-            rank += 1
+        if acc >= target and seg < len(alive) - 1:
+            seg += 1
             acc = 0.0
-        assignment[idx] = rank
+        assignment[idx] = alive[seg]
         acc += costs[idx]
     return assignment
 
 
-def load_imbalance(costs: Sequence[float], assignment: np.ndarray, n_ranks: int) -> float:
-    """Max rank load divided by mean rank load (1.0 = perfectly balanced)."""
+def load_imbalance(
+    costs: Sequence[float],
+    assignment: np.ndarray,
+    n_ranks: int,
+    exclude_ranks: Sequence[int] = (),
+) -> float:
+    """Max rank load divided by mean rank load (1.0 = perfectly balanced).
+
+    Both statistics run over the *alive* ranks only: a dead (or otherwise
+    excluded) rank carries no work by construction, and counting its zero
+    load in the mean inflates max/mean — after an evacuation that would
+    re-trigger pointless rebalances forever.
+    """
     costs = _validate(costs, n_ranks)
     loads = np.zeros(n_ranks, dtype=np.float64)
     np.add.at(loads, np.asarray(assignment, dtype=np.intp), costs)
-    mean = loads.mean()
+    alive_loads = loads[_alive_ranks(n_ranks, exclude_ranks)]
+    mean = alive_loads.mean()
     if mean == 0:
         return 1.0
-    return float(loads.max() / mean)
+    return float(alive_loads.max() / mean)
 
 
 def rank_loads(costs: Sequence[float], assignment: np.ndarray, n_ranks: int) -> np.ndarray:

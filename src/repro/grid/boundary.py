@@ -14,6 +14,9 @@ periodic transverse + absorbing longitudinal) are expressible.
 
 from __future__ import annotations
 
+from itertools import product
+from typing import List, Sequence, Tuple
+
 import numpy as np
 
 from repro.grid.yee import STAGGER, FIELD_COMPONENTS, YeeGrid
@@ -23,6 +26,27 @@ def _axis_slice(ndim: int, axis: int, sl: slice):
     out = [slice(None)] * ndim
     out[axis] = sl
     return tuple(out)
+
+
+def periodic_image_shifts(
+    domain_cells: Sequence[int], periodic_axes: Sequence[int] = ()
+) -> List[Tuple[int, ...]]:
+    """Every periodic-image shift vector of the domain, zero shift included.
+
+    Along a periodic axis a box has images displaced by ``-n``, ``0`` and
+    ``+n`` cells; a non-periodic axis contributes only ``0``.  The pairwise
+    halo exchange enumerates box overlaps against each shifted image, which
+    is how wrap-around neighbor pairs (and a box's own periodic image, for
+    a single-box axis) are found.  Sufficient as long as a box plus its
+    guards never spans more than one full period.
+    """
+    per_axis = [
+        (-int(domain_cells[d]), 0, int(domain_cells[d]))
+        if d in periodic_axes
+        else (0,)
+        for d in range(len(domain_cells))
+    ]
+    return [tuple(s) for s in product(*per_axis)]
 
 
 def apply_periodic(grid: YeeGrid, axis: int, components=None) -> None:

@@ -33,10 +33,12 @@ class DistributedObserver:
         self._prev_collectives = int(sim.comm.collective_calls)
         self._prev_lb_events = len(sim.lb_events)
         self._prev_recovery = self._recovery_totals()
-        #: guard-cell samples exchanged per step: every overlap region is
-        #: filled once with 3 current components and once with 6 field
-        #: components (the two halo phases of ``_finish_step``)
-        self._guard_samples_per_step = sum(o[2] for o in sim.overlaps) * 9
+        # halo / LB-migration traffic: mirrored as deltas of the honest
+        # counters the pairwise exchange maintains on the simulation
+        self._prev_halo_samples = int(sim.halo_samples)
+        self._prev_halo_bytes = int(sim.halo_payload_bytes)
+        self._prev_halo_messages = int(sim.halo_messages)
+        self._prev_moved_bytes = int(sim.lb_moved_bytes)
 
     def _recovery_totals(self) -> Tuple[int, int, int]:
         res = self.sim.resilience
@@ -69,12 +71,28 @@ class DistributedObserver:
         )
         self._prev_collectives = int(comm.collective_calls)
         m.gauge("comm.spilled_bytes").set(comm.spilled_bytes)
-        m.counter("halo.guard_cells").add(self._guard_samples_per_step)
+
+        # halo exchange: guard samples applied (local copies included),
+        # aggregated cross-rank payload bytes and message count — all
+        # measured by the pairwise exchange, not estimated
+        m.counter("halo.guard_cells").add(
+            int(sim.halo_samples) - self._prev_halo_samples
+        )
+        m.counter("halo.bytes").add(
+            int(sim.halo_payload_bytes) - self._prev_halo_bytes
+        )
+        m.counter("halo.messages").add(
+            int(sim.halo_messages) - self._prev_halo_messages
+        )
+        self._prev_halo_samples = int(sim.halo_samples)
+        self._prev_halo_bytes = int(sim.halo_payload_bytes)
+        self._prev_halo_messages = int(sim.halo_messages)
 
         # load balance: the imbalance gauge matches DistributionMapping
+        # over the alive ranks (a dead rank's zero load is not imbalance)
         costs = sim.cost_model.measured(range(len(sim.boxes)), default=0.0)
         if any(c > 0 for c in costs):
-            imbalance = sim.dm.imbalance(costs)
+            imbalance = sim.dm.imbalance(costs, exclude_ranks=sim.dead_ranks)
             m.gauge("lb.imbalance").set(imbalance)
             m.histogram("lb.box_cost").observe(max(costs))
         new_events = sim.lb_events[self._prev_lb_events:]
@@ -82,6 +100,10 @@ class DistributedObserver:
             m.counter("lb.rebalances").add(len(new_events))
             m.counter("lb.boxes_moved").add(sum(new_events))
         self._prev_lb_events = len(sim.lb_events)
+        moved_delta = int(sim.lb_moved_bytes) - self._prev_moved_bytes
+        if moved_delta > 0:
+            m.counter("lb.moved_bytes").add(moved_delta)
+        self._prev_moved_bytes = int(sim.lb_moved_bytes)
 
         # resilience: mirror the recovery-policy stats as counters
         retries, redeliveries, dedups = self._recovery_totals()

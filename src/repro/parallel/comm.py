@@ -468,6 +468,20 @@ class SimComm:
             self._record("barrier", rank, -1, "barrier", 0)
 
     # -- reporting ---------------------------------------------------------
+    def pair_bytes_for_tag(self, prefix: str = "") -> Dict[Tuple[int, int], int]:
+        """Per (src, dst) bytes of logged ``send`` events matching a tag prefix.
+
+        Replays the event log, so in a fault-free run the totals reconcile
+        exactly with :attr:`pair_bytes` (which aggregates every tag) —
+        this is how tests and the perf model attribute traffic to one
+        exchange phase (e.g. prefix ``"halo"`` or ``"lb:"``).
+        """
+        out: Dict[Tuple[int, int], int] = defaultdict(int)
+        for e in self.log:
+            if e.kind == "send" and e.tag.startswith(prefix):
+                out[(e.src, e.dst)] += e.nbytes
+        return dict(out)
+
     def total_bytes(self) -> int:
         return int(self.bytes_sent.sum())
 

@@ -35,14 +35,14 @@ from repro.parallel.box import Box, chop_domain
 from repro.parallel.comm import SimComm
 from repro.parallel.distribution import DistributionMapping
 from repro.parallel.halo import (
-    account_halo_traffic,
     assemble_global,
-    fold_sources_global,
+    exchange_halos,
+    fold_sources_pairwise,
     neighbor_overlaps,
-    scatter_local,
 )
 from repro.parallel.redistribute import (
     build_box_lookup,
+    migrate_boxes,
     redistribute_particles,
     wrap_positions_periodic,
 )
@@ -138,9 +138,21 @@ class DistributedSimulation:
             self.box_grids.append(bg)
             self.box_solvers.append(MaxwellSolver(bg, self.dt))
         self.box_lookup = build_box_lookup(self.boxes, n_cells)
-        self.overlaps = neighbor_overlaps(
-            self.boxes, n_cells, guards, periodic_axes=range(self.domain.ndim)
+        periodic_axes = range(self.domain.ndim)
+        #: deposit-folding overlaps (valid regions receiving guard deposits)
+        self.fold_overlaps = neighbor_overlaps(
+            self.boxes, n_cells, guards, periodic_axes, kind="fold"
         )
+        #: field-guard fill overlaps (the canonical-owner partition)
+        self.fill_overlaps = neighbor_overlaps(
+            self.boxes, n_cells, guards, periodic_axes, kind="fill"
+        )
+        # honest halo/LB traffic counters, accumulated from the per-phase
+        # exchange stats (observability mirrors these as per-step deltas)
+        self.halo_samples = 0
+        self.halo_payload_bytes = 0
+        self.halo_messages = 0
+        self.lb_moved_bytes = 0
         self.species: Dict[str, DistributedSpecies] = {}
         self.dynamic_lb = bool(dynamic_lb)
         self.lb_interval = int(lb_interval)
@@ -262,46 +274,54 @@ class DistributedSimulation:
                 self.shape_order,
             )
 
+    def _note_halo(self, stats) -> None:
+        """Fold one exchange's stats into the cumulative halo counters."""
+        self.halo_samples += stats.samples
+        self.halo_payload_bytes += stats.payload_bytes
+        self.halo_messages += stats.messages
+
     def _finish_step(self) -> None:
         """Everything after the per-box particle work: fold sources,
-        advance fields, exchange halos, redistribute, balance load."""
+        advance fields, exchange halos, redistribute, balance load.
+
+        All field data moves pairwise through the communicator; the
+        global grid is touched only by diagnostics (and the sanitizers).
+        """
         ndim = self.domain.ndim
         periodic_axes = tuple(range(ndim))
         with self._phase("fold_sources"):
-            fold_sources_global(
-                self.domain, self.box_grids, self.boxes, periodic_axes
-            )
             if self.smoothing_passes > 0:
-                for comp in ("Jx", "Jy", "Jz"):
-                    for axis in range(ndim):
-                        smooth_binomial(
-                            self.domain.fields[comp], axis, self.smoothing_passes
-                        )
-            scatter_local(
-                self.domain, self.box_grids, self.boxes, ("Jx", "Jy", "Jz")
-            )
-            account_halo_traffic(
-                self.comm, self.overlaps, self.dm.assignment, n_components=3
-            )
+                # smooth each box's raw deposits (guards included) before
+                # folding, mirroring the monolithic smooth-then-fold order
+                for bg in self.box_grids:
+                    for comp in ("Jx", "Jy", "Jz"):
+                        for axis in range(ndim):
+                            smooth_binomial(
+                                bg.fields[comp], axis, self.smoothing_passes
+                            )
+            self._note_halo(fold_sources_pairwise(
+                self.comm,
+                self.box_grids,
+                self.boxes,
+                self.fold_overlaps,
+                self.dm.assignment,
+                guards=self.domain.guards,
+            ))
 
         with self._phase("maxwell"):
             for solver in self.box_solvers:
                 solver.step()
 
         with self._phase("halo_fields"):
-            assemble_global(
-                self.domain,
+            self._note_halo(exchange_halos(
+                self.comm,
                 self.box_grids,
                 self.boxes,
-                FIELD_COMPONENTS,
-                periodic_axes,
-            )
-            scatter_local(
-                self.domain, self.box_grids, self.boxes, FIELD_COMPONENTS
-            )
-            account_halo_traffic(
-                self.comm, self.overlaps, self.dm.assignment, n_components=6
-            )
+                self.fill_overlaps,
+                self.dm.assignment,
+                guards=self.domain.guards,
+                components=FIELD_COMPONENTS,
+            ))
 
         with self._phase("redistribute"):
             for dsp in self.species.values():
@@ -327,8 +347,22 @@ class DistributedSimulation:
         ):
             with self._phase("load_balance"):
                 costs = self.cost_model.measured(range(len(self.boxes)), default=0.0)
-                if self.dm.imbalance(costs) > self.lb_threshold:
-                    moved = self.dm.rebalance(costs, strategy="knapsack")
+                imb = self.dm.imbalance(costs, exclude_ranks=self.dead_ranks)
+                if imb > self.lb_threshold:
+                    old_assignment = self.dm.assignment.copy()
+                    moved = self.dm.rebalance(
+                        costs, strategy="knapsack",
+                        exclude_ranks=self.dead_ranks,
+                    )
+                    if moved:
+                        _, nbytes = migrate_boxes(
+                            self.comm,
+                            self.box_grids,
+                            self.species,
+                            old_assignment,
+                            self.dm.assignment,
+                        )
+                        self.lb_moved_bytes += nbytes
                     self.lb_events.append(moved)
 
         self.time += self.dt
@@ -356,6 +390,15 @@ class DistributedSimulation:
         """Per-step invariant checks (opt-in via ``REPRO_SANITIZE=1``)."""
         step = self.step_count
         san = self.sanitizer
+        # the step loop no longer maintains the global grid — refresh it
+        # here (diagnostics-only) so the global invariants stay meaningful
+        assemble_global(
+            self.domain,
+            self.box_grids,
+            self.boxes,
+            FIELD_COMPONENTS,
+            periodic_axes=tuple(range(self.domain.ndim)),
+        )
         san.check_fields_finite(self.domain, step, label=" (global)")
         for axis in range(self.domain.ndim):
             san.check_guard_consistency(self.domain, axis, step, label=" (global)")

@@ -46,18 +46,29 @@ class DistributionMapping:
         self.strategy = strategy
         self.assignment = self._compute(costs)
 
-    def _compute(self, costs: Optional[Sequence[float]]) -> np.ndarray:
+    def _compute(
+        self,
+        costs: Optional[Sequence[float]],
+        exclude_ranks: Sequence[int] = (),
+    ) -> np.ndarray:
         if costs is None:
             costs = [b.n_cells for b in self.boxes]
         costs = np.asarray(costs, dtype=np.float64)
         if costs.size != len(self.boxes):
             raise DecompositionError("one cost per box required")
         if self.strategy == "round_robin":
-            return distribute_round_robin(costs, self.n_ranks)
+            return distribute_round_robin(
+                costs, self.n_ranks, exclude_ranks=exclude_ranks
+            )
         if self.strategy == "knapsack":
-            return distribute_knapsack(costs, self.n_ranks)
+            return distribute_knapsack(
+                costs, self.n_ranks, exclude_ranks=exclude_ranks
+            )
         centers = np.array([b.center() for b in self.boxes])
-        return distribute_sfc(costs, self.n_ranks, box_centers=centers)
+        return distribute_sfc(
+            costs, self.n_ranks, box_centers=centers,
+            exclude_ranks=exclude_ranks,
+        )
 
     def rank_of(self, box_index: int) -> int:
         return int(self.assignment[box_index])
@@ -65,19 +76,31 @@ class DistributionMapping:
     def boxes_of(self, rank: int) -> List[int]:
         return [i for i, r in enumerate(self.assignment) if r == rank]
 
-    def imbalance(self, costs: Sequence[float]) -> float:
-        return load_imbalance(costs, self.assignment, self.n_ranks)
+    def imbalance(
+        self, costs: Sequence[float], exclude_ranks: Sequence[int] = ()
+    ) -> float:
+        """Max/mean load over the ranks not in ``exclude_ranks``."""
+        return load_imbalance(
+            costs, self.assignment, self.n_ranks, exclude_ranks=exclude_ranks
+        )
 
-    def rebalance(self, costs: Sequence[float], strategy: Optional[str] = None) -> int:
+    def rebalance(
+        self,
+        costs: Sequence[float],
+        strategy: Optional[str] = None,
+        exclude_ranks: Sequence[int] = (),
+    ) -> int:
         """Recompute the mapping from fresh costs.
 
         ``strategy`` overrides the construction-time strategy for this
         rebalance only (the paper's dynamic LB redistributes with the
         knapsack heuristic on measured costs even when the initial layout
-        came from the space-filling curve).  Returns the number of boxes
-        that changed rank — each implies shipping that box's field and
-        particle data, the traffic the paper's pinned-memory fall-back
-        absorbs during large LB steps.
+        came from the space-filling curve).  ``exclude_ranks`` — the dead
+        ranks after a failure — are barred from the new mapping, so a
+        rebalance can never resurrect an evacuated rank.  Returns the
+        number of boxes that changed rank — each implies shipping that
+        box's field and particle data, the traffic the paper's
+        pinned-memory fall-back absorbs during large LB steps.
         """
         old = self.assignment
         if strategy is not None:
@@ -85,11 +108,11 @@ class DistributionMapping:
                 raise DecompositionError(f"unknown strategy {strategy!r}")
             saved, self.strategy = self.strategy, strategy
             try:
-                self.assignment = self._compute(costs)
+                self.assignment = self._compute(costs, exclude_ranks)
             finally:
                 self.strategy = saved
         else:
-            self.assignment = self._compute(costs)
+            self.assignment = self._compute(costs, exclude_ranks)
         return int(np.count_nonzero(old != self.assignment))
 
     def evacuate(

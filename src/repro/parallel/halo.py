@@ -1,27 +1,55 @@
 """Guard-cell (halo) exchange between the boxes of one refinement level.
 
-Data movement is implemented through assembly into a global array — which
-inside one process is both simple and exactly equivalent to pairwise
-exchange — while the *message accounting* is pairwise and faithful: for
-every pair of boxes whose grown regions overlap (including periodic
-images), the true overlap sample count is recorded with the communicator.
+Exchange is genuinely pairwise: :func:`neighbor_overlaps` enumerates the
+exact index regions where one box's data is needed by another (periodic
+images included), and :func:`exchange_halos` / :func:`fold_sources_pairwise`
+slice those regions out of the source box and route them through
+:class:`SimComm` as real payloads.  All regions travelling between the
+same pair of ranks are coalesced into a single message per exchange phase
+— the paper's message-aggregation optimization — and overlaps between
+boxes on the same rank short-circuit to local copies, which is why a
+locality-aware distribution (SFC) sends fewer bytes for the same physics.
+
+Two overlap kinds cover the PIC cycle:
+
+* ``"fold"`` — after deposition, guard-cell J/rho contributions are *added*
+  into the valid region of the box that owns the samples (every deposit is
+  summed exactly once per destination copy);
+* ``"fill"`` — after the field push, every guard sample (and duplicated
+  nodal plane) is *overwritten* with the value computed by the sample's
+  unique owner box.
+
+The global-assembly helpers (:func:`assemble_global`,
+:func:`fold_sources_global`, :func:`scatter_local`) remain as
+diagnostics/reference paths only — the step loop never touches the global
+grid.
 
 Index convention: a box with cell range ``[lo, hi)`` and ``g`` guards maps
-its local array index ``k`` (along an axis) to global array index
-``lo + k`` when the global array carries the same ``g`` guards.
+its local array index ``k`` (along an axis) to the *sample* index
+``lo + k - g``; every component array spans samples ``[lo - g, hi + g + 1)``
+regardless of staggering.  Overlap regions are expressed in sample space.
 """
 
 from __future__ import annotations
 
-from itertools import product
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.grid.boundary import accumulate_periodic_sources, apply_periodic
-from repro.grid.yee import YeeGrid
+from repro.exceptions import DecompositionError
+from repro.grid.boundary import (
+    accumulate_periodic_sources,
+    apply_periodic,
+    periodic_image_shifts,
+)
+from repro.grid.yee import FIELD_COMPONENTS, SOURCE_COMPONENTS, STAGGER, YeeGrid
 from repro.parallel.box import Box
-from repro.parallel.comm import SimComm
+from repro.parallel.comm import SimComm, payload_nbytes
+
+#: tags of the two halo phases; commcheck and the byte-reconciliation
+#: tests filter the event log on this prefix
+HALO_TAG_PREFIX = "halo"
 
 
 def _local_to_global_slices(box: Box, local_shape: Sequence[int]) -> Tuple[slice, ...]:
@@ -36,13 +64,14 @@ def fold_sources_global(
     box_grids: Sequence[YeeGrid],
     boxes: Sequence[Box],
     periodic_axes: Sequence[int] = (),
-    components: Sequence[str] = ("Jx", "Jy", "Jz", "rho"),
+    components: Sequence[str] = SOURCE_COMPONENTS,
 ) -> None:
-    """Sum all per-box deposits into the global grid (guards included).
+    """Sum all per-box deposits into the global grid (reference path).
 
     Because every macroparticle deposits on exactly one box and local
     array indices map affinely to global indices, the summed global array
-    is bit-identical to a monolithic deposition.
+    is bit-identical to a monolithic deposition.  Used by diagnostics and
+    as the cross-check oracle for :func:`fold_sources_pairwise`.
     """
     for comp in components:
         g_arr = global_grid.fields[comp]
@@ -61,7 +90,7 @@ def assemble_global(
     components: Sequence[str],
     periodic_axes: Sequence[int] = (),
 ) -> None:
-    """Write each box's valid field data into the global grid.
+    """Write each box's valid field data into the global grid (diagnostics).
 
     Samples on shared box faces are written by several boxes with
     identical values (their stencils saw identical guard data), so
@@ -94,69 +123,274 @@ def scatter_local(
             bg.fields[comp][...] = g_arr[sl]
 
 
+@dataclass(frozen=True)
+class HaloOverlap:
+    """One directed data dependency between two boxes.
+
+    Samples of box ``src`` (displaced by the periodic image ``shift``)
+    land in ``region`` of box ``dst``: a source sample with index ``t``
+    appears at ``t + shift`` in the destination frame.  ``region`` is a
+    half-open :class:`Box` in *sample* space — for ``"fill"`` overlaps it
+    lies inside ``dst``'s full (guard-padded) range and reads only owned
+    source samples; for ``"fold"`` overlaps it lies inside ``dst``'s
+    valid range and reads the source's full range (guards included).
+    """
+
+    dst: int
+    src: int
+    shift: Tuple[int, ...]
+    region: Box
+    kind: str
+
+    @property
+    def n_samples(self) -> int:
+        """Samples of one (nodal) component covered by this overlap."""
+        return self.region.n_cells
+
+
 def neighbor_overlaps(
     boxes: Sequence[Box],
     domain_cells: Sequence[int],
     guards: int,
     periodic_axes: Sequence[int] = (),
-) -> List[Tuple[int, int, int]]:
-    """Pairwise halo overlap sizes: (box_i, box_j, n_samples).
+    kind: str = "fill",
+) -> List[HaloOverlap]:
+    """All :class:`HaloOverlap` regions of a box array.
 
-    ``n_samples`` is the number of cells of box ``j`` inside box ``i``'s
-    guard shell (including periodic images) — the amount of data ``j``
-    ships to ``i`` per exchanged component.
+    ``kind="fill"`` produces the field-guard exchange pattern: for every
+    destination box, the regions over all (source, shift) pairs tile the
+    box's full array *exactly once* each, minus the box's own owned cells
+    — every guard sample has a unique canonical owner.  ``kind="fold"``
+    produces the source-deposit pattern: the destination's valid region
+    intersected with every guard-padded source image, so each deposit is
+    summed into every copy of the sample it belongs to.  The identity
+    overlap (same box, zero shift) is skipped for both kinds.
     """
-    ndim = boxes[0].ndim if boxes else 0
-    shifts = []
-    for offsets in product(*[
-        ((-domain_cells[d], 0, domain_cells[d]) if d in periodic_axes else (0,))
-        for d in range(ndim)
-    ]):
-        shifts.append(offsets)
-    overlaps = []
+    if kind not in ("fill", "fold"):
+        raise DecompositionError(f"unknown overlap kind {kind!r}")
+    if not boxes:
+        return []
+    shifts = periodic_image_shifts(domain_cells, periodic_axes)
+    overlaps: List[HaloOverlap] = []
     for i, bi in enumerate(boxes):
-        grown = bi.grown(guards)
+        if kind == "fill":
+            # the full guard-padded sample range of the destination
+            target = Box(
+                tuple(l - guards for l in bi.lo),
+                tuple(h + guards + 1 for h in bi.hi),
+            )
+        else:
+            # the (nodal) valid sample range; staggered components trim
+            # the top plane at slice time
+            target = Box(bi.lo, tuple(h + 1 for h in bi.hi))
         for j, bj in enumerate(boxes):
-            total = 0
             for shift in shifts:
                 if i == j and all(s == 0 for s in shift):
                     continue
-                inter = grown.intersect(bj.shifted(shift))
-                if inter is not None:
-                    total += inter.n_cells
-            if total > 0:
-                overlaps.append((i, j, total))
+                if kind == "fill":
+                    source = bj.shifted(shift)
+                else:
+                    source = Box(
+                        tuple(l - guards + s for l, s in zip(bj.lo, shift)),
+                        tuple(h + guards + 1 + s for h, s in zip(bj.hi, shift)),
+                    )
+                region = target.intersect(source)
+                if region is not None:
+                    overlaps.append(HaloOverlap(i, j, shift, region, kind))
     return overlaps
 
 
-def account_halo_traffic(
-    comm: SimComm,
-    overlaps: Sequence[Tuple[int, int, int]],
-    rank_of_box: Sequence[int],
-    n_components: int,
-    itemsize: int = 8,
-) -> None:
-    """Record one halo exchange's messages with the communicator.
+def _overlap_slices(
+    ov: HaloOverlap,
+    dst_box: Box,
+    src_box: Box,
+    guards: int,
+    stagger: Sequence[int],
+) -> Optional[Tuple[Tuple[slice, ...], Tuple[slice, ...]]]:
+    """Destination/source array slices of one overlap for one component.
 
-    Overlaps between boxes on the *same* rank cost nothing (local copies),
-    matching how real MPI halo exchange behaves under a locality-aware
-    distribution — this is why the SFC strategy wins on communication.
+    Fold regions are trimmed at the destination's top valid plane for
+    staggered axes (the staggered valid range is one sample shorter);
+    returns None when the trim empties the region.
     """
-    for i, j, n_samples in overlaps:
-        src = rank_of_box[j]
-        dst = rank_of_box[i]
-        if src == dst:
-            continue
-        comm.send(
-            src,
-            dst,
-            np.empty(0, dtype=np.float64),  # accounting only; data moved via global assembly
-            tag="halo",
+    dst_sl, src_sl = [], []
+    for d in range(dst_box.ndim):
+        lo = ov.region.lo[d]
+        hi = ov.region.hi[d]
+        if ov.kind == "fold":
+            hi = min(hi, dst_box.hi[d] + 1 - stagger[d])
+            if hi <= lo:
+                return None
+        dst_sl.append(slice(lo - dst_box.lo[d] + guards, hi - dst_box.lo[d] + guards))
+        src_sl.append(
+            slice(
+                lo - ov.shift[d] - src_box.lo[d] + guards,
+                hi - ov.shift[d] - src_box.lo[d] + guards,
+            )
         )
-        nbytes = n_samples * n_components * itemsize
-        comm.bytes_sent[src] += nbytes
-        comm.pair_bytes[(src, dst)] += nbytes
-        comm.recv(src, dst, tag="halo")
+    return tuple(dst_sl), tuple(src_sl)
+
+
+@dataclass
+class HaloExchangeStats:
+    """Honest accounting of one exchange phase.
+
+    ``payload_bytes`` is the byte count of the aggregated cross-rank
+    message payloads exactly as :func:`~repro.parallel.comm.payload_nbytes`
+    sees them, so it reconciles with the communicator's ``pair_bytes`` and
+    event log.  ``samples`` counts every applied array sample, local
+    copies included (the guard-cell work is the same wherever the
+    neighbor lives).
+    """
+
+    messages: int = 0
+    payload_bytes: int = 0
+    samples: int = 0
+    local_copies: int = 0
+
+    def merge(self, other: "HaloExchangeStats") -> None:
+        self.messages += other.messages
+        self.payload_bytes += other.payload_bytes
+        self.samples += other.samples
+        self.local_copies += other.local_copies
+
+
+def _apply_entries(
+    box_grids: Sequence[YeeGrid],
+    entries: Sequence[Tuple[int, str, Tuple[int, ...], np.ndarray]],
+    accumulate: bool,
+) -> None:
+    for dst_box, comp, dst_lo, data in entries:
+        arr = box_grids[dst_box].fields[comp]
+        sl = tuple(slice(lo, lo + s) for lo, s in zip(dst_lo, data.shape))
+        if accumulate:
+            arr[sl] += data
+        else:
+            arr[sl] = data
+
+
+def _run_exchange(
+    comm: SimComm,
+    box_grids: Sequence[YeeGrid],
+    boxes: Sequence[Box],
+    overlaps: Sequence[HaloOverlap],
+    rank_of_box: Sequence[int],
+    guards: int,
+    components: Sequence[str],
+    tag: str,
+    accumulate: bool,
+) -> HaloExchangeStats:
+    """Pack, send, receive and apply one exchange phase.
+
+    All source regions are sliced (and copied) *before* anything is
+    applied, so the exchange has snapshot semantics — a destination
+    update can never leak into a source read.  One ``comm.send`` carries
+    every region travelling between a given (src_rank, dst_rank) pair;
+    same-rank regions never touch the communicator.
+
+    Entries carry their position in the overlap enumeration and are
+    applied in that canonical order after all messages arrive, so the
+    floating-point summation order of the fold depends only on the box
+    array — never on the distribution mapping.  A run whose boxes were
+    rebalanced (or evacuated off a dead rank) therefore stays
+    bit-identical to the same run under any other assignment, which is
+    what the resilience layer's recovered-equals-fault-free contract
+    requires.
+    """
+    stats = HaloExchangeStats()
+    pair_payloads: Dict[Tuple[int, int], List] = {}
+    entries: List[Tuple[int, int, str, Tuple[int, ...], np.ndarray]] = []
+    order = 0
+    for ov in overlaps:
+        src_rank = int(rank_of_box[ov.src])
+        dst_rank = int(rank_of_box[ov.dst])
+        dst_box = boxes[ov.dst]
+        src_box = boxes[ov.src]
+        src_fields = box_grids[ov.src].fields
+        for comp in components:
+            sls = _overlap_slices(ov, dst_box, src_box, guards, STAGGER[comp])
+            if sls is None:
+                continue
+            dst_sl, src_sl = sls
+            data = src_fields[comp][src_sl].copy()
+            entry = (order, ov.dst, comp, tuple(s.start for s in dst_sl), data)
+            order += 1
+            stats.samples += data.size
+            if src_rank == dst_rank:
+                entries.append(entry)
+                stats.local_copies += 1
+            else:
+                pair_payloads.setdefault((src_rank, dst_rank), []).append(entry)
+    pairs = sorted(pair_payloads)
+    for pair in pairs:
+        comm.send(pair[0], pair[1], pair_payloads[pair], tag=tag)
+    for pair in pairs:
+        payload = comm.recv(pair[0], pair[1], tag=tag)
+        stats.messages += 1
+        stats.payload_bytes += payload_nbytes(payload)
+        entries.extend(payload)
+    entries.sort(key=lambda e: e[0])
+    _apply_entries(box_grids, [e[1:] for e in entries], accumulate)
+    return stats
+
+
+def fold_sources_pairwise(
+    comm: SimComm,
+    box_grids: Sequence[YeeGrid],
+    boxes: Sequence[Box],
+    overlaps: Sequence[HaloOverlap],
+    rank_of_box: Sequence[int],
+    guards: int,
+    components: Sequence[str] = SOURCE_COMPONENTS,
+    tag: str = HALO_TAG_PREFIX + ":fold",
+) -> HaloExchangeStats:
+    """Accumulate guard-cell J/rho deposits into their owning boxes.
+
+    ``overlaps`` must come from ``neighbor_overlaps(..., kind="fold")``.
+    After the call every box's component-valid region holds the complete
+    (periodic) sum of all deposits for its samples — equal to folding on
+    an assembled global grid, up to floating-point summation order.
+    Guard cells keep their raw local deposits; nothing in the cycle reads
+    them (E and J are colocated, and guard E/B are overwritten by the
+    field fill).
+    """
+    for ov in overlaps:
+        if ov.kind != "fold":
+            raise DecompositionError(
+                "fold_sources_pairwise needs kind='fold' overlaps"
+            )
+    return _run_exchange(
+        comm, box_grids, boxes, overlaps, rank_of_box, guards,
+        components, tag, accumulate=True,
+    )
+
+
+def exchange_halos(
+    comm: SimComm,
+    box_grids: Sequence[YeeGrid],
+    boxes: Sequence[Box],
+    overlaps: Sequence[HaloOverlap],
+    rank_of_box: Sequence[int],
+    guards: int,
+    components: Sequence[str] = FIELD_COMPONENTS,
+    tag: str = HALO_TAG_PREFIX + ":fields",
+) -> HaloExchangeStats:
+    """Overwrite every guard sample with its canonical owner's value.
+
+    ``overlaps`` must come from ``neighbor_overlaps(..., kind="fill")``.
+    The fill regions partition each box's non-owned samples exactly, so
+    after the call the full (guard-padded) array of every box is
+    bit-identical to scattering from an assembled, periodic global grid.
+    """
+    for ov in overlaps:
+        if ov.kind != "fill":
+            raise DecompositionError(
+                "exchange_halos needs kind='fill' overlaps"
+            )
+    return _run_exchange(
+        comm, box_grids, boxes, overlaps, rank_of_box, guards,
+        components, tag, accumulate=False,
+    )
 
 
 def halo_bytes_per_box(

@@ -16,13 +16,45 @@ rank count.  Two mechanisms the paper observes fall out directly:
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.perfmodel.machines import (
     Machine,
     WEAK_SCALING_ANCHORS,
 )
 from repro.perfmodel.roofline import node_time_per_step
+
+
+def measured_halo_time(
+    machine: Machine,
+    pair_bytes: Mapping[Tuple[int, int], int],
+    messages_per_pair: int = 1,
+) -> float:
+    """Alpha-beta time of one *measured* halo exchange on ``machine``.
+
+    ``pair_bytes`` maps ``(src_rank, dst_rank)`` to bytes actually shipped
+    — e.g. ``SimComm.pair_bytes_for_tag("halo")`` from a run, or a
+    per-phase delta of ``SimComm.pair_bytes``.  Each rank drives its
+    outgoing messages through its NIC share concurrently, so the exchange
+    completes when the bottleneck sender finishes: max over sources of
+    (bytes / bandwidth + messages * latency).  With the pairwise exchange
+    aggregating everything between a rank pair into one message per
+    phase, ``messages_per_pair`` is the number of phases the byte map
+    spans (2 per step: fold + field fill).
+    """
+    out_bytes, out_msgs = {}, {}
+    for (src, dst), nbytes in pair_bytes.items():
+        if src == dst:
+            continue
+        out_bytes[src] = out_bytes.get(src, 0) + int(nbytes)
+        out_msgs[src] = out_msgs.get(src, 0) + int(messages_per_pair)
+    if not out_bytes:
+        return 0.0
+    bw = machine.net_gb_per_s * 1e9 / machine.devices_per_node
+    return max(
+        b / bw + out_msgs[r] * machine.net_latency
+        for r, b in out_bytes.items()
+    )
 
 
 def halo_surface_bytes(

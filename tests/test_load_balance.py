@@ -146,3 +146,78 @@ def test_cost_model_combined():
     out = cm.combined([0, 1], [10, 10], [0, 0])
     assert out[0] == pytest.approx(1.0)  # heuristic
     assert out[1] == pytest.approx(5.0)  # measured wins
+
+
+# -- dead-rank exclusion and accounting regressions --------------------------
+
+
+def test_strategies_never_assign_to_excluded_ranks():
+    """Regression: a dead rank must not be resurrected by any strategy."""
+    costs = np.ones(12)
+    dead = {1, 3}
+    rr = distribute_round_robin(costs, 4, exclude_ranks=dead)
+    ks = distribute_knapsack(costs, 4, exclude_ranks=dead)
+    sfc = distribute_sfc(costs, 4, exclude_ranks=dead)
+    for assignment in (rr, ks, sfc):
+        assert set(assignment) == {0, 2}
+    # balanced over the survivors
+    assert load_imbalance(costs, ks, 4, exclude_ranks=dead) == pytest.approx(1.0)
+
+
+def test_exclude_all_ranks_raises():
+    with pytest.raises(DecompositionError):
+        distribute_knapsack(np.ones(4), 2, exclude_ranks={0, 1})
+
+
+def test_rebalance_respects_excluded_ranks():
+    boxes = chop_domain((16, 16), 4)
+    dm = DistributionMapping(boxes, 4, strategy="knapsack")
+    costs = np.ones(len(boxes))
+    costs[:4] = 50.0
+    dm.rebalance(costs, exclude_ranks={2})
+    assert 2 not in set(dm.assignment)
+    assert dm.imbalance(costs, exclude_ranks={2}) < 1.5
+
+
+def test_load_imbalance_averages_over_alive_ranks_only():
+    """Regression: an excluded (dead) rank's zero load must not deflate
+    the mean.  6 unit boxes on ranks {0,2,3} of 4: with rank 1 dead the
+    survivors are perfectly balanced."""
+    costs = np.ones(6)
+    assignment = np.array([0, 0, 2, 2, 3, 3])
+    # the buggy all-ranks average reported 2 / 1.5 = 1.333...
+    assert load_imbalance(costs, assignment, 4) == pytest.approx(4.0 / 3.0)
+    assert load_imbalance(
+        costs, assignment, 4, exclude_ranks={1}
+    ) == pytest.approx(1.0)
+
+
+def test_sfc_order_resolves_half_integer_centers():
+    """Regression: box centers sit on half-integers; truncating them to
+    int aliased distinct boxes to the same Morton cell.  With doubled
+    integer coordinates (2, 3) vs (3, 2) the codes differ and the
+    y-major Morton convention orders the second box first."""
+    from repro.core.load_balance import sfc_order
+
+    centers = np.array([[1.0, 1.5], [1.5, 1.0]])
+    np.testing.assert_array_equal(sfc_order(centers), [1, 0])
+
+
+def test_distribute_sfc_splits_aliased_centers():
+    """With the truncation bug both odd-sized boxes collapsed onto one
+    Morton cell, so the stable sort degenerated to input order; the
+    doubled-coordinate encoding keeps the curve meaningful."""
+    boxes = chop_domain((6, 6), 3)  # 2x2 boxes of 3x3 cells: centers *.5
+    centers = np.array([b.center() for b in boxes])
+    assert np.all(centers % 1.0 == 0.5)  # precondition: all half-integer
+    costs = np.ones(len(boxes))
+    assignment = distribute_sfc(costs, 2, centers)
+    loads = rank_loads(costs, assignment, 2)
+    np.testing.assert_allclose(loads, 2.0)
+    from repro.core.load_balance import sfc_order
+
+    order = sfc_order(centers)
+    # the Morton traversal of a 2x2 block is a bent elbow, never a scan
+    assert list(order) != [0, 1, 2, 3]
+    changes = np.count_nonzero(np.diff(assignment[order]))
+    assert changes == 1

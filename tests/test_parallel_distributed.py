@@ -158,3 +158,101 @@ def test_dynamic_lb_triggers_on_imbalance():
     assert len(dist.lb_events) >= 1
     costs = dist.cost_model.measured(range(len(dist.boxes)))
     assert dist.dm.imbalance(costs) < 2.0
+
+
+# -- halo accounting, dead-rank LB, and migration payload regressions --------
+
+
+def test_halo_send_log_reconciles_with_pair_bytes():
+    """Acceptance: every halo send carries a real payload, at most one
+    aggregated message flows per (src, dst) per phase, and the event log
+    agrees with both the simulation counters and SimComm.pair_bytes."""
+    from collections import Counter
+
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    dist = DistributedSimulation(
+        (16, 16), (0.0, 0.0), (length, length), n_ranks=4, max_grid_size=8,
+    )
+    e = Species("e", ndim=2)
+    dist.add_species(e, profile=UniformProfile(n0), ppc=2)
+    dist.step(2)  # warm up past initialization
+    dist.comm.clear_log()
+    pair_before = dict(dist.comm.pair_bytes)
+    bytes_before = dist.halo_payload_bytes
+    msgs_before = dist.halo_messages
+
+    dist.step(1)
+
+    halo_sends = [
+        ev for ev in dist.comm.log
+        if ev.kind == "send" and ev.tag.startswith("halo")
+    ]
+    assert halo_sends and all(ev.nbytes > 0 for ev in halo_sends)
+    counts = Counter((ev.src, ev.dst, ev.tag) for ev in halo_sends)
+    assert max(counts.values()) == 1  # one aggregated message per pair+phase
+    # log == simulation counters == communicator pair accounting
+    logged = dist.comm.pair_bytes_for_tag("halo")
+    halo_logged = sum(ev.nbytes for ev in halo_sends)
+    assert sum(logged.values()) == halo_logged
+    assert halo_logged == dist.halo_payload_bytes - bytes_before
+    assert len(halo_sends) == dist.halo_messages - msgs_before
+    # and every byte pair_bytes advanced by this step is in the event log
+    pair_delta = sum(
+        n - pair_before.get(p, 0) for p, n in dist.comm.pair_bytes.items()
+    )
+    all_send_bytes = sum(
+        ev.nbytes for ev in dist.comm.log if ev.kind == "send"
+    )
+    assert pair_delta == all_send_bytes
+
+
+def test_lb_never_resurrects_dead_rank():
+    """Regression: after a rank failure the dynamic load balancer must
+    keep the dead rank out of every subsequent assignment."""
+    from repro.resilience import FaultSchedule, FaultSpec, RecoveryPolicy
+
+    schedule = FaultSchedule([FaultSpec(kind="rank_failure", step=2, rank=1)])
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    dist = DistributedSimulation(
+        (16, 16), (0.0, 0.0), (length, length),
+        n_ranks=4, max_grid_size=4,  # 16 boxes over 4 ranks
+        dynamic_lb=True, lb_interval=2, lb_threshold=1.01,
+        fault_schedule=schedule, recovery=RecoveryPolicy(),
+        checkpoint_interval=1,
+    )
+    e = Species("e", ndim=2)
+    dist.add_species(e, profile=UniformProfile(n0), ppc=4)
+    for i, sp in enumerate(dist.species["e"].per_box):
+        if dist.boxes[i].lo[0] >= 8 or dist.boxes[i].lo[1] >= 8:
+            sp.remove(np.ones(sp.n, dtype=bool))
+    dist.step(8)
+    assert dist.dead_ranks == {1}
+    assert len(dist.lb_events) >= 1  # the balancer did run after the death
+    assert 1 not in set(dist.dm.assignment)
+
+
+def test_lb_migration_ships_real_payloads():
+    """Regression: a rebalance moves the boxes' fields and particles as
+    real messages; lb_moved_bytes equals the tagged wire traffic."""
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    dist = DistributedSimulation(
+        (16, 16), (0.0, 0.0), (length, length),
+        n_ranks=4, max_grid_size=4,
+        dynamic_lb=True, lb_interval=3, lb_threshold=1.05,
+        strategy="sfc",
+    )
+    e = Species("e", ndim=2)
+    dist.add_species(e, profile=UniformProfile(n0), ppc=4)
+    for i, sp in enumerate(dist.species["e"].per_box):
+        if dist.boxes[i].lo[0] >= 8 or dist.boxes[i].lo[1] >= 8:
+            sp.remove(np.ones(sp.n, dtype=bool))
+    dist.step(6)
+    assert any(m > 0 for m in dist.lb_events)
+    assert dist.lb_moved_bytes > 0
+    migrate_bytes = dist.comm.pair_bytes_for_tag("lb:migrate")
+    assert sum(migrate_bytes.values()) == dist.lb_moved_bytes
+    assert all(src != dst for src, dst in migrate_bytes)
+    check_comm(dist.comm).raise_if_failed()

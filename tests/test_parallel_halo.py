@@ -1,19 +1,27 @@
-"""Tests for halo exchange, source folding and overlap accounting."""
+"""Tests for the pairwise halo exchange: overlap regions, real payloads,
+message aggregation, and equivalence with the global-assembly reference."""
+
+from collections import Counter
 
 import numpy as np
 import pytest
 
-from repro.grid.yee import FIELD_COMPONENTS, YeeGrid
+from repro.exceptions import DecompositionError
+from repro.grid.boundary import periodic_image_shifts
+from repro.grid.yee import FIELD_COMPONENTS, SOURCE_COMPONENTS, YeeGrid
 from repro.parallel.box import Box, chop_domain
 from repro.parallel.comm import SimComm
 from repro.parallel.halo import (
-    account_halo_traffic,
     assemble_global,
+    exchange_halos,
     fold_sources_global,
+    fold_sources_pairwise,
     halo_bytes_per_box,
     neighbor_overlaps,
     scatter_local,
 )
+from repro.perfmodel.machines import get_machine
+from repro.perfmodel.network import measured_halo_time
 
 
 def make_setup(n=16, max_grid=8, guards=3):
@@ -25,6 +33,23 @@ def make_setup(n=16, max_grid=8, guards=3):
         hi = tuple(float(v) for v in b.hi)
         grids.append(YeeGrid(b.shape, lo, hi, guards=guards))
     return domain, boxes, grids
+
+
+def fill_random(grids, components, seed, valid_only=False):
+    rng = np.random.default_rng(seed)
+    for bg in grids:
+        for comp in components:
+            if valid_only:
+                view = bg.fields[comp][bg.valid_slices(comp)]
+            else:
+                view = bg.fields[comp]
+            view[...] = rng.uniform(-1.0, 1.0, size=view.shape)
+
+
+def test_periodic_image_shifts():
+    shifts = periodic_image_shifts((8, 4), periodic_axes=(1,))
+    assert set(shifts) == {(0, -4), (0, 0), (0, 4)}
+    assert periodic_image_shifts((8, 4)) == [(0, 0)]
 
 
 def test_fold_sources_matches_monolithic_deposit():
@@ -74,30 +99,187 @@ def test_assemble_scatter_roundtrip():
         )
 
 
+def test_neighbor_overlaps_fill_is_exact_partition():
+    """Fill overlaps tile each box's full array exactly once per position,
+    except the box's own owned cells — every guard sample has one owner."""
+    guards = 3
+    _, boxes, _ = make_setup(n=16, max_grid=8, guards=guards)
+    overlaps = neighbor_overlaps(
+        boxes, (16, 16), guards=guards, periodic_axes=(0, 1), kind="fill"
+    )
+    for i, b in enumerate(boxes):
+        extent = tuple(s + 1 + 2 * guards for s in b.shape)
+        cover = np.zeros(extent, dtype=np.int64)
+        for ov in (o for o in overlaps if o.dst == i):
+            sl = tuple(
+                slice(lo - bl + guards, hi - bl + guards)
+                for lo, hi, bl in zip(ov.region.lo, ov.region.hi, b.lo)
+            )
+            cover[sl] += 1
+        owned = tuple(slice(guards, guards + s) for s in b.shape)
+        assert np.all(cover[owned] == 0)
+        cover[owned] = 1
+        np.testing.assert_array_equal(cover, np.ones(extent, dtype=np.int64))
+
+
 def test_neighbor_overlaps_symmetric_counts():
     _, boxes, _ = make_setup(n=16, max_grid=8)
-    overlaps = neighbor_overlaps(boxes, (16, 16), guards=2, periodic_axes=(0, 1))
+    overlaps = neighbor_overlaps(
+        boxes, (16, 16), guards=2, periodic_axes=(0, 1), kind="fill"
+    )
     # 2x2 boxes on a periodic torus: every box sees all 3 others
     partners = {}
-    for i, j, n in overlaps:
-        partners.setdefault(i, set()).add(j)
+    size = Counter()
+    for ov in overlaps:
+        partners.setdefault(ov.dst, set()).add(ov.src)
+        size[(ov.dst, ov.src)] += ov.n_samples
     for i in range(4):
         assert partners[i] == {0, 1, 2, 3} - {i}
-    # symmetry of the overlap sizes
-    size = {(i, j): n for i, j, n in overlaps}
+    # equal-size boxes: the overlap volumes are symmetric per pair
     for (i, j), n in size.items():
         assert size[(j, i)] == n
 
 
-def test_account_halo_traffic_skips_same_rank():
-    _, boxes, _ = make_setup(n=16, max_grid=8)
-    overlaps = neighbor_overlaps(boxes, (16, 16), guards=2, periodic_axes=(0, 1))
-    comm_all_one = SimComm(1)
-    account_halo_traffic(comm_all_one, overlaps, [0, 0, 0, 0], n_components=6)
-    assert comm_all_one.total_bytes() == 0
-    comm_split = SimComm(2)
-    account_halo_traffic(comm_split, overlaps, [0, 0, 1, 1], n_components=6)
-    assert comm_split.total_bytes() > 0
+def test_neighbor_overlaps_rejects_unknown_kind():
+    _, boxes, _ = make_setup()
+    with pytest.raises(DecompositionError):
+        neighbor_overlaps(boxes, (16, 16), guards=2, kind="sideways")
+
+
+def test_exchange_halos_matches_assemble_scatter():
+    """The pairwise fill is bit-identical to assemble + periodic + scatter,
+    over the boxes' full (guard-padded) arrays."""
+    guards = 3
+    domain, boxes, grids_ref = make_setup(guards=guards)
+    _, _, grids_pw = make_setup(guards=guards)
+    fill_random(grids_ref, FIELD_COMPONENTS, seed=7, valid_only=True)
+    for ref, pw in zip(grids_ref, grids_pw):
+        for comp in FIELD_COMPONENTS:
+            pw.fields[comp][...] = ref.fields[comp]
+
+    assemble_global(domain, grids_ref, boxes, FIELD_COMPONENTS, periodic_axes=(0, 1))
+    scatter_local(domain, grids_ref, boxes, FIELD_COMPONENTS)
+
+    overlaps = neighbor_overlaps(
+        boxes, (16, 16), guards=guards, periodic_axes=(0, 1), kind="fill"
+    )
+    comm = SimComm(2)
+    exchange_halos(
+        comm, grids_pw, boxes, overlaps, [0, 0, 1, 1], guards=guards
+    )
+    for ref, pw in zip(grids_ref, grids_pw):
+        for comp in FIELD_COMPONENTS:
+            np.testing.assert_array_equal(pw.fields[comp], ref.fields[comp])
+
+
+def test_fold_pairwise_matches_global_fold():
+    """Pairwise deposit folding equals folding on the assembled global
+    grid (up to floating-point summation order) on every valid region."""
+    guards = 3
+    domain, boxes, grids_ref = make_setup(guards=guards)
+    _, _, grids_pw = make_setup(guards=guards)
+    fill_random(grids_ref, SOURCE_COMPONENTS, seed=11, valid_only=False)
+    for ref, pw in zip(grids_ref, grids_pw):
+        for comp in SOURCE_COMPONENTS:
+            pw.fields[comp][...] = ref.fields[comp]
+
+    fold_sources_global(domain, grids_ref, boxes, periodic_axes=(0, 1))
+    scatter_local(domain, grids_ref, boxes, SOURCE_COMPONENTS)
+
+    overlaps = neighbor_overlaps(
+        boxes, (16, 16), guards=guards, periodic_axes=(0, 1), kind="fold"
+    )
+    comm = SimComm(4)
+    fold_sources_pairwise(
+        comm, grids_pw, boxes, overlaps, [0, 1, 2, 3], guards=guards
+    )
+    for ref, pw in zip(grids_ref, grids_pw):
+        for comp in SOURCE_COMPONENTS:
+            sl = ref.valid_slices(comp)
+            np.testing.assert_allclose(
+                pw.fields[comp][sl], ref.fields[comp][sl],
+                rtol=1e-13, atol=1e-15,
+            )
+
+
+def test_exchange_aggregates_one_message_per_rank_pair():
+    """Acceptance: one aggregated send per (src_rank, dst_rank) per phase,
+    every payload non-empty, and the log reconciles with pair_bytes."""
+    guards = 3
+    _, boxes, grids = make_setup(guards=guards)
+    fill_random(grids, FIELD_COMPONENTS, seed=3)
+    overlaps = neighbor_overlaps(
+        boxes, (16, 16), guards=guards, periodic_axes=(0, 1), kind="fill"
+    )
+    comm = SimComm(4)
+    rank_of = [0, 1, 2, 3]
+    stats = exchange_halos(comm, grids, boxes, overlaps, rank_of, guards=guards)
+
+    sends = [e for e in comm.log if e.kind == "send"]
+    assert sends and all(e.nbytes > 0 for e in sends)
+    counts = Counter((e.src, e.dst) for e in sends)
+    assert max(counts.values()) == 1  # aggregation: one message per pair
+    assert set(counts) == {
+        (r, s) for r in range(4) for s in range(4) if r != s
+    }
+    assert stats.messages == len(sends)
+    # log bytes == pair_bytes == the stats' payload accounting
+    logged = comm.pair_bytes_for_tag("halo")
+    assert logged == dict(comm.pair_bytes)
+    assert sum(logged.values()) == stats.payload_bytes
+    assert stats.local_copies == 0
+
+
+def test_same_rank_exchange_short_circuits_to_copies():
+    guards = 3
+    domain, boxes, grids_ref = make_setup(guards=guards)
+    _, _, grids = make_setup(guards=guards)
+    fill_random(grids_ref, FIELD_COMPONENTS, seed=5, valid_only=True)
+    for ref, pw in zip(grids_ref, grids):
+        for comp in FIELD_COMPONENTS:
+            pw.fields[comp][...] = ref.fields[comp]
+    assemble_global(domain, grids_ref, boxes, FIELD_COMPONENTS, periodic_axes=(0, 1))
+    scatter_local(domain, grids_ref, boxes, FIELD_COMPONENTS)
+
+    overlaps = neighbor_overlaps(
+        boxes, (16, 16), guards=guards, periodic_axes=(0, 1), kind="fill"
+    )
+    comm = SimComm(1)
+    stats = exchange_halos(comm, grids, boxes, overlaps, [0, 0, 0, 0], guards=guards)
+    assert comm.total_bytes() == 0 and comm.total_messages() == 0
+    assert stats.messages == 0 and stats.payload_bytes == 0
+    assert stats.local_copies > 0 and stats.samples > 0
+    # the physics is identical whether the neighbor is local or remote
+    for ref, pw in zip(grids_ref, grids):
+        for comp in FIELD_COMPONENTS:
+            np.testing.assert_array_equal(pw.fields[comp], ref.fields[comp])
+
+
+def test_exchange_kind_mismatch_raises():
+    guards = 3
+    _, boxes, grids = make_setup(guards=guards)
+    fold = neighbor_overlaps(
+        boxes, (16, 16), guards=guards, periodic_axes=(0, 1), kind="fold"
+    )
+    fill = neighbor_overlaps(
+        boxes, (16, 16), guards=guards, periodic_axes=(0, 1), kind="fill"
+    )
+    comm = SimComm(4)
+    with pytest.raises(DecompositionError):
+        exchange_halos(comm, grids, boxes, fold, [0, 1, 2, 3], guards=guards)
+    with pytest.raises(DecompositionError):
+        fold_sources_pairwise(comm, grids, boxes, fill, [0, 1, 2, 3], guards=guards)
+
+
+def test_measured_halo_time_bottleneck_sender():
+    machine = get_machine("summit")
+    bw = machine.net_gb_per_s * 1e9 / machine.devices_per_node
+    pair_bytes = {(0, 1): 2_000_000, (0, 2): 2_000_000, (1, 0): 500_000,
+                  (3, 3): 10**9}  # self-pairs never cost wire time
+    t = measured_halo_time(machine, pair_bytes, messages_per_pair=2)
+    expected = 4_000_000 / bw + 4 * machine.net_latency  # rank 0 dominates
+    assert t == pytest.approx(expected)
+    assert measured_halo_time(machine, {}) == 0.0
 
 
 def test_halo_bytes_per_box():
