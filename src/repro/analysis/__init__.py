@@ -10,23 +10,46 @@ contracts for the reproduction:
     loops in hot kernels, explicit dtypes on field allocations,
     ``ReproError``-only exception discipline, timing through
     :class:`~repro.diagnostics.timers.Timers`, ``__all__`` consistency).
+``repro.analysis.dataflow``
+    The intraprocedural dataflow engine behind the value-tracking rules:
+    a statement-level CFG with constant propagation, module constant
+    environments, and array-allocation/alias tracking.
+``repro.analysis.commstatic``
+    A static communication-schedule extractor and verifier over the
+    sources: matched send/recv site pairs, cross-phase tag disjointness,
+    recv-before-send deadlock patterns and in-flight buffer mutation
+    (COMM006/007/008/010).
 ``repro.analysis.commcheck``
     A post-hoc protocol checker over :class:`~repro.parallel.comm.SimComm`'s
-    event log: unreceived messages, tag mismatches, self-sends and
-    collective/barrier divergence across ranks.
+    event log: unreceived messages, tag mismatches, self-sends,
+    collective/barrier divergence across ranks, and — over the
+    schedule-structure events — the happens-before replay (phase
+    overlap, non-canonical fold order, fold-before-arrival races).
 ``repro.analysis.sanitize``
     Opt-in runtime invariant sanitizers (``REPRO_SANITIZE=1``) wired into
     the PIC step: non-finite fields, out-of-domain particles, guard-cell
     consistency.
 
-Run the static pass from the command line::
+Run the static passes from the command line::
 
     python -m repro.analysis src/repro
 """
 
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.linter import LintRule, lint_paths, registered_rules
-from repro.analysis.commcheck import ProtocolReport, check_comm
+from repro.analysis.commcheck import (
+    ProtocolReport,
+    check_all,
+    check_comm,
+    check_happens_before,
+)
+from repro.analysis.commstatic import (
+    MessageFlow,
+    PhaseInfo,
+    Schedule,
+    check_schedule,
+    extract_schedule,
+)
 from repro.analysis.sanitize import Sanitizer
 
 __all__ = [
@@ -36,6 +59,13 @@ __all__ = [
     "lint_paths",
     "registered_rules",
     "ProtocolReport",
+    "check_all",
     "check_comm",
+    "check_happens_before",
+    "MessageFlow",
+    "PhaseInfo",
+    "Schedule",
+    "check_schedule",
+    "extract_schedule",
     "Sanitizer",
 ]

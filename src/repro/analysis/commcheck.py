@@ -19,8 +19,36 @@ RES002   unrecovered rank failure (a ``rank_fail`` event with no
          subsequent checkpoint-restore for that rank)
 ======   =================================================================
 
-Use :func:`check_comm` for a report, or
-:meth:`ProtocolReport.raise_if_failed` to turn violations into a
+When the log carries schedule-structure events
+(``phase_begin``/``phase_end``/``apply``, emitted by the exchange phases
+themselves), :func:`check_happens_before` additionally replays the
+happens-before relation of the schedule:
+
+======   =================================================================
+COMM007  phase overlap: a phase begins (or ends) while messages on its
+         tag are still in flight from an earlier phase — e.g. a
+         load-balance migration overlapping an unfinished halo exchange
+         on a shared tag
+COMM009  non-canonical application order: an ordered fold/fill phase
+         applied its overlap entries out of the canonical (strictly
+         increasing) order, so the floating-point sum depends on the
+         rank mapping
+COMM010  fold-before-arrival race: an entry was applied while messages
+         contributing to the same phase were still in flight
+======   =================================================================
+
+(COMM006 and COMM008 — unmatched send/recv sites and cyclic wait-for
+chains — are *static* rules of :mod:`repro.analysis.commstatic`; they
+need source positions, not a trace.)
+
+Same-rank overlaps are local copies that never touch the communicator:
+the happens-before accounting is driven purely by observed send/recv
+events, so a single-rank decomposition (zero messages, phases intact)
+replays clean by construction.
+
+Use :func:`check_comm` for the point-to-point/collective/resilience
+report, :func:`check_all` to also replay the happens-before relation,
+or :meth:`ProtocolReport.raise_if_failed` to turn violations into a
 :class:`~repro.exceptions.ProtocolError` (how the distributed tests gate
 on a clean protocol).
 """
@@ -188,6 +216,100 @@ def _check_resilience(comm: "SimComm") -> List[Finding]:
     return findings
 
 
+class _PhaseState:
+    """Replay state of one open exchange phase (per tag)."""
+
+    __slots__ = ("begin_seq", "declared", "last_order", "flagged_order",
+                 "flagged_race")
+
+    def __init__(self, begin_seq: int, declared: int) -> None:
+        self.begin_seq = begin_seq
+        self.declared = declared
+        self.last_order: int | None = None
+        self.flagged_order = False
+        self.flagged_race = False
+
+
+def _check_happens_before(comm: "SimComm") -> List[Finding]:
+    """COMM007/COMM009/COMM010 by replaying schedule-structure events.
+
+    ``outstanding`` counts in-flight messages per tag from observed
+    send/recv events only — local copies never appear, so phases with no
+    cross-rank traffic (single-rank decompositions) are vacuously clean.
+    Each race/order violation is reported once per phase (the first
+    offending event carries the provenance).
+    """
+    findings: List[Finding] = []
+    outstanding: Counter = Counter()
+    phases: Dict[str, _PhaseState] = {}
+    for ev in comm.log:
+        if ev.kind == "send":
+            outstanding[ev.tag] += 1
+        elif ev.kind == "recv":
+            if outstanding[ev.tag] > 0:
+                outstanding[ev.tag] -= 1
+        elif ev.kind == "phase_begin":
+            in_flight = outstanding[ev.tag]
+            if ev.tag in phases:
+                findings.append(
+                    _finding(
+                        "COMM007",
+                        ev.seq,
+                        f"phase on tag {ev.tag!r} begins while an earlier "
+                        f"phase on the same tag (event "
+                        f"{phases[ev.tag].begin_seq}) is still open — "
+                        "overlapping phases cannot tell their messages apart",
+                    )
+                )
+            elif in_flight > 0:
+                findings.append(
+                    _finding(
+                        "COMM007",
+                        ev.seq,
+                        f"phase on tag {ev.tag!r} begins while "
+                        f"{in_flight} message(s) on the same tag are still "
+                        "in flight from outside the phase — e.g. a "
+                        "migration overlapping an unfinished halo exchange",
+                    )
+                )
+            phases[ev.tag] = _PhaseState(ev.seq, ev.detail)
+        elif ev.kind == "phase_end":
+            phases.pop(ev.tag, None)
+        elif ev.kind == "apply":
+            state = phases.get(ev.tag)
+            if state is None:
+                continue  # applies outside a phase are not schedule-bound
+            if outstanding[ev.tag] > 0 and not state.flagged_race:
+                state.flagged_race = True
+                findings.append(
+                    _finding(
+                        "COMM010",
+                        ev.seq,
+                        f"apply on tag {ev.tag!r} (order {ev.detail}) while "
+                        f"{outstanding[ev.tag]} contributing message(s) are "
+                        "still in flight — the fold raced its own traffic",
+                    )
+                )
+            if (
+                state.last_order is not None
+                and ev.detail <= state.last_order
+                and not state.flagged_order
+            ):
+                state.flagged_order = True
+                findings.append(
+                    _finding(
+                        "COMM009",
+                        ev.seq,
+                        f"apply on tag {ev.tag!r} out of canonical order "
+                        f"(order {ev.detail} after {state.last_order}) — "
+                        "the floating-point sum now depends on the rank "
+                        "mapping",
+                    )
+                )
+            state.last_order = ev.detail
+    return findings
+
+
 @dataclass
 class ProtocolReport:
     """Outcome of one protocol check: findings plus a little context."""
@@ -220,12 +342,37 @@ class ProtocolReport:
 
 
 def check_comm(comm: "SimComm") -> ProtocolReport:
-    """Run every protocol detector over ``comm``'s event log."""
+    """Run the point-to-point/collective/resilience detectors."""
     findings: List[Finding] = []
     findings += _check_point_to_point(comm)
     findings += _check_divergence(comm, "collective", "COMM004")
     findings += _check_divergence(comm, "barrier", "COMM005")
     findings += _check_resilience(comm)
+    return ProtocolReport(
+        findings=sort_findings(findings),
+        n_events=len(comm.log),
+        n_ranks=comm.n_ranks,
+    )
+
+
+def check_happens_before(comm: "SimComm") -> ProtocolReport:
+    """Replay only the happens-before relation (COMM007/009/010).
+
+    Logs without schedule-structure events trivially pass — the checker
+    is driven entirely by ``phase_begin``/``phase_end``/``apply``
+    markers, so it composes with hand-built event logs and with replays
+    loaded from disk (:mod:`repro.observability.commlog`).
+    """
+    return ProtocolReport(
+        findings=sort_findings(_check_happens_before(comm)),
+        n_events=len(comm.log),
+        n_ranks=comm.n_ranks,
+    )
+
+
+def check_all(comm: "SimComm") -> ProtocolReport:
+    """Every replay detector: protocol rules plus happens-before."""
+    findings = check_comm(comm).findings + _check_happens_before(comm)
     return ProtocolReport(
         findings=sort_findings(findings),
         n_events=len(comm.log),

@@ -5,12 +5,18 @@ Rule ids are stable and documented in the README:
 
 ======  ==================================================================
 PIC001  no per-particle Python ``for`` loops in hot-path kernel modules
-PIC002  ``np.zeros``/``np.empty`` must pass an explicit ``dtype``
+PIC002  ``np.zeros``/``np.empty`` must pass an explicit ``dtype`` (the
+        dataflow engine also flags a dtype that provably resolves to
+        ``None``, and discovers numpy import aliases from the module)
 PIC003  only ``ReproError`` subclasses may be raised from library code
 PIC004  no direct wall-clock calls outside ``diagnostics.timers``
 PIC005  ``__all__`` must be consistent with the names a package binds
 PIC006  kernel-phase calls in step drivers must run under a timer/span
 ======  ==================================================================
+
+The static schedule rules (COMM006-COMM010) live in
+:mod:`repro.analysis.commstatic`, not in this registry: they operate on
+a cross-module workspace rather than one file at a time.
 """
 
 from repro.analysis.rules import dtype

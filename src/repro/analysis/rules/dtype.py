@@ -6,26 +6,41 @@ double-precision halo exchanges.  Every ``np.zeros``/``np.empty``
 allocation must say what it allocates — either a ``dtype=`` keyword or
 the positional dtype argument.  ``zeros_like``/``empty_like`` inherit
 their prototype's dtype and are exempt by construction.
+
+The rule is value-tracking, not pattern-matching: numpy import aliases
+are discovered from the module (``import numpy as xp`` is recognized,
+unioned with the conventional ``np``/``numpy`` so snippets without
+imports still lint), and a ``dtype=`` argument that the dataflow engine
+(:mod:`repro.analysis.dataflow`) proves to be ``None`` — directly or
+through a constant/parameter-default chain — is flagged exactly like a
+missing one: ``dtype=None`` *is* the numpy default.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, Optional
 
+from repro.analysis.dataflow import (
+    DEFAULT_NUMPY_ALIASES,
+    ModuleAnalysis,
+    build_module_env,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.linter import LintContext, LintRule, register
 
 ALLOCATORS = ("zeros", "empty")
-NUMPY_ALIASES = ("np", "numpy")
+NUMPY_ALIASES = tuple(sorted(DEFAULT_NUMPY_ALIASES))
 
 
 @register
 class ExplicitDtypeRule(LintRule):
     rule_id = "PIC002"
-    description = "np.zeros/np.empty must pass an explicit dtype"
+    description = "np.zeros/np.empty must pass an explicit (non-None) dtype"
 
     def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        env = build_module_env(ctx.tree)
+        analysis: Optional[ModuleAnalysis] = None
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -34,15 +49,34 @@ class ExplicitDtypeRule(LintRule):
                 isinstance(func, ast.Attribute)
                 and func.attr in ALLOCATORS
                 and isinstance(func.value, ast.Name)
-                and func.value.id in NUMPY_ALIASES
+                and func.value.id in env.numpy_aliases
             ):
                 continue
-            has_positional_dtype = len(node.args) >= 2
-            has_keyword_dtype = any(kw.arg == "dtype" for kw in node.keywords)
-            if not (has_positional_dtype or has_keyword_dtype):
+            dtype_expr: Optional[ast.expr] = None
+            if len(node.args) >= 2:
+                dtype_expr = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    dtype_expr = kw.value
+            if dtype_expr is None:
                 yield ctx.finding(
                     self,
                     node,
                     f"np.{func.attr} without explicit dtype "
                     "(pass dtype=... so precision is pinned)",
+                )
+                continue
+            # the dataflow engine resolves constants through assignments
+            # and parameter defaults; a provable None is the numpy
+            # default in disguise
+            if analysis is None:
+                analysis = ModuleAnalysis(ctx.tree, env)
+            ok, value = analysis.resolve(dtype_expr)
+            if ok and value is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"np.{func.attr} dtype resolves to None — that is the "
+                    "numpy default, not an explicit precision; pin a real "
+                    "dtype",
                 )

@@ -18,6 +18,11 @@ Quick start::
     print(RunReport.from_timers(sim.timers).render())
 """
 
+from repro.observability.commlog import (
+    CommLogReplay,
+    read_comm_log,
+    write_comm_log,
+)
 from repro.observability.instrument import DistributedObserver, attach_observability
 from repro.observability.metrics import (
     Counter,
@@ -44,6 +49,9 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "CommLogReplay",
+    "read_comm_log",
+    "write_comm_log",
     "DistributedObserver",
     "attach_observability",
     "Counter",

@@ -41,6 +41,15 @@ RECOVERY_EVENT_KINDS = (
     "recover_restore",
 )
 
+#: schedule-structure events emitted by the exchange phases themselves
+#: (``begin_phase``/``end_phase``/``record_apply``); replayed by the
+#: happens-before checker in :mod:`repro.analysis.commcheck`
+SCHEDULE_EVENT_KINDS = (
+    "phase_begin",
+    "phase_end",
+    "apply",
+)
+
 
 @dataclass(frozen=True)
 class CommEvent:
@@ -58,6 +67,17 @@ class CommEvent:
     retransmit, a late delivery, a receiver-side dedup, a checkpoint
     restore).  The protocol checker pairs the two streams to verify no
     fault went unrecovered (RES001/RES002).
+
+    Exchange phases additionally bracket their traffic with
+    :data:`SCHEDULE_EVENT_KINDS`: a ``phase_begin``/``phase_end`` pair
+    per exchange (``src = dst = -1``; ``detail`` holds the declared
+    cross-rank message count at begin) and, for ordered fold/fill
+    phases, one ``apply`` event per applied overlap entry with
+    ``detail`` carrying the canonical order index.  The happens-before
+    checker replays these to flag phase overlap on a shared tag
+    (COMM007), non-canonical application order (COMM009) and applies
+    racing in-flight messages (COMM010).  ``detail`` is 0 for every
+    other event kind.
     """
 
     seq: int
@@ -66,6 +86,7 @@ class CommEvent:
     dst: int
     tag: str
     nbytes: int
+    detail: int = 0
 
 
 def _msg_context(op: str, src: int, dst: int, tag: str) -> str:
@@ -132,9 +153,12 @@ class SimComm:
             )
 
     def _record(
-        self, kind: str, src: int, dst: int, tag: str, nbytes: int
+        self, kind: str, src: int, dst: int, tag: str, nbytes: int,
+        detail: int = 0,
     ) -> None:
-        self.log.append(CommEvent(self._seq, kind, src, dst, tag, nbytes))
+        self.log.append(
+            CommEvent(self._seq, kind, src, dst, tag, nbytes, detail)
+        )
         self._seq += 1
 
     def _account_buffer(self, src: int, nbytes: int) -> None:
@@ -426,6 +450,32 @@ class SimComm:
         """Log a checkpoint-restore recovery for a failed rank."""
         self._check_rank(rank, "", "recover_restore")
         self._record("recover_restore", rank, -1, "rank", nbytes)
+
+    # -- schedule structure (replayed by the happens-before checker) --------
+    def begin_phase(self, tag: str, n_messages: int = 0) -> None:
+        """Mark the start of an exchange phase operating on ``tag``.
+
+        ``n_messages`` is the number of *cross-rank* messages the phase
+        intends to move (same-rank overlaps are local copies and never
+        touch the communicator — declaring only cross-rank traffic is
+        what keeps single-rank decompositions clean under the pair
+        accounting of the happens-before checker).
+        """
+        self._record("phase_begin", -1, -1, tag, 0, detail=int(n_messages))
+
+    def end_phase(self, tag: str) -> None:
+        """Mark the end of the exchange phase operating on ``tag``."""
+        self._record("phase_end", -1, -1, tag, 0)
+
+    def record_apply(self, tag: str, order: int, nbytes: int = 0) -> None:
+        """Log the application of one overlap entry of an ordered phase.
+
+        ``order`` is the entry's canonical order index; the checker
+        requires the sequence within a phase to be strictly increasing
+        (COMM009) and every apply to happen after the phase's traffic
+        has fully arrived (COMM010).
+        """
+        self._record("apply", -1, -1, tag, nbytes, detail=int(order))
 
     def pending(self) -> int:
         """Number of undelivered messages (should be 0 between phases)."""

@@ -322,6 +322,7 @@ def _run_exchange(
             else:
                 pair_payloads.setdefault((src_rank, dst_rank), []).append(entry)
     pairs = sorted(pair_payloads)
+    comm.begin_phase(tag, n_messages=len(pairs))
     for pair in pairs:
         comm.send(pair[0], pair[1], pair_payloads[pair], tag=tag)
     for pair in pairs:
@@ -330,7 +331,10 @@ def _run_exchange(
         stats.payload_bytes += payload_nbytes(payload)
         entries.extend(payload)
     entries.sort(key=lambda e: e[0])
+    for e in entries:
+        comm.record_apply(tag, e[0], nbytes=int(e[4].nbytes))
     _apply_entries(box_grids, [e[1:] for e in entries], accumulate)
+    comm.end_phase(tag)
     return stats
 
 

@@ -77,6 +77,8 @@ def redistribute_particles(
     messages carrying the particles' position+momentum+weight+id payload.
     """
     n_moved = 0
+    if comm is not None:
+        comm.begin_phase("particles")
     pending: List[Tuple[int, Species]] = []
     for i, sp in enumerate(species_per_box):
         if sp.n == 0:
@@ -114,6 +116,8 @@ def redistribute_particles(
             pending.append((int(j), batch))
     for j, batch in pending:
         species_per_box[j].extend(batch)
+    if comm is not None:
+        comm.end_phase("particles")
     return n_moved
 
 
@@ -155,6 +159,7 @@ def migrate_boxes(
             )
         per_pair.setdefault((old, new), []).append((i, fields, parts))
     pairs = sorted(per_pair)
+    comm.begin_phase(tag, n_messages=len(pairs))
     for pair in pairs:
         comm.send(pair[0], pair[1], per_pair[pair], tag=tag)
     moved_bytes = 0
@@ -170,5 +175,6 @@ def migrate_boxes(
                 sp.momenta = np.asarray(mom, dtype=sp.dtype)
                 sp.weights = np.asarray(wgt, dtype=sp.dtype)
                 sp.ids = np.asarray(ids, dtype=np.int64)
+    comm.end_phase(tag)
     return len(pairs), moved_bytes
 

@@ -1,0 +1,27 @@
+"""Seeded bug: two exchange phases claiming one tag (COMM007).
+
+The migration phase reuses the halo tag — exactly the cross-phase
+namespace collision the verifier exists to rule out.  With both phases
+in flight their messages are indistinguishable: a migration payload can
+satisfy a halo receive.
+"""
+
+SHARED_TAG = "halo:fold"
+
+
+def fold_guards(comm, pairs, payloads):
+    comm.begin_phase(SHARED_TAG, n_messages=len(pairs))
+    for src, dst in pairs:
+        comm.send(src, dst, payloads[(src, dst)], tag=SHARED_TAG)
+    for src, dst in pairs:
+        comm.recv(src, dst, tag=SHARED_TAG)
+    comm.end_phase(SHARED_TAG)
+
+
+def migrate_state(comm, moves, state):
+    comm.begin_phase(SHARED_TAG, n_messages=len(moves))
+    for src, dst in moves:
+        comm.send(src, dst, state[(src, dst)], tag=SHARED_TAG)
+    for src, dst in moves:
+        comm.recv(src, dst, tag=SHARED_TAG)
+    comm.end_phase(SHARED_TAG)

@@ -1,0 +1,296 @@
+"""The dataflow engine: constant propagation, CFG joins, array aliasing."""
+
+import ast
+
+import pytest
+
+from repro.analysis.dataflow import (
+    DEFAULT_NUMPY_ALIASES,
+    NONCONST,
+    ArrayValue,
+    FunctionAnalysis,
+    ModuleAnalysis,
+    build_module_env,
+    fold_expr,
+)
+
+
+def analyze(source):
+    tree = ast.parse(source)
+    return ModuleAnalysis(tree)
+
+
+def resolve_at(source, marker_func="f", var="x"):
+    """Resolve ``var`` as read by the call to ``probe(var)`` in the source."""
+    analysis = analyze(source)
+    for node in ast.walk(analysis.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "probe"
+        ):
+            return analysis.resolve(node.args[0])
+    raise AssertionError("no probe(...) call in source")
+
+
+# -- expression folding ------------------------------------------------------
+
+def test_fold_constants_and_arithmetic():
+    env = {"P": "halo", "N": 4}
+    lookup = env.__getitem__
+    ok, value = fold_expr(ast.parse("P + ':fold'", mode="eval").body, lookup)
+    assert (ok, value) == (True, "halo:fold")
+    ok, value = fold_expr(ast.parse("N * 2 + 1", mode="eval").body, lookup)
+    assert (ok, value) == (True, 9)
+    ok, value = fold_expr(ast.parse("(P, N)", mode="eval").body, lookup)
+    assert (ok, value) == (True, ("halo", 4))
+    ok, value = fold_expr(ast.parse("-N", mode="eval").body, lookup)
+    assert (ok, value) == (True, -4)
+
+
+def test_fold_fstring_of_constants():
+    lookup = {"P": "lb"}.__getitem__
+    ok, value = fold_expr(ast.parse("f'{P}:migrate'", mode="eval").body, lookup)
+    assert (ok, value) == (True, "lb:migrate")
+
+
+def test_fold_fails_on_unknown_names_and_mixed_types():
+    lookup = {"S": "a"}.__getitem__
+    ok, _ = fold_expr(ast.parse("unknown + 1", mode="eval").body, lookup)
+    assert not ok
+    ok, _ = fold_expr(ast.parse("S + 1", mode="eval").body, lookup)
+    assert not ok
+    ok, _ = fold_expr(ast.parse("1 // 0", mode="eval").body, lookup)
+    assert not ok
+
+
+def test_fold_nonconst_poisons():
+    lookup = {"x": NONCONST}.__getitem__
+    ok, _ = fold_expr(ast.parse("x + 'a'", mode="eval").body, lookup)
+    assert not ok
+
+
+# -- module environment ------------------------------------------------------
+
+def test_module_env_constants_and_chaining():
+    env = build_module_env(ast.parse(
+        "PREFIX = 'halo'\n"
+        "TAG = PREFIX + ':fold'\n"
+        "N = 4 * 2\n"
+    ))
+    assert env.constants == {"PREFIX": "halo", "TAG": "halo:fold", "N": 8}
+
+
+def test_module_env_reassignment_evicts():
+    env = build_module_env(ast.parse("X = 1\nX = 2\n"))
+    assert "X" not in env.constants
+
+
+def test_module_env_discovers_numpy_aliases():
+    env = build_module_env(ast.parse("import numpy as xp\n"))
+    assert "xp" in env.numpy_aliases
+    assert DEFAULT_NUMPY_ALIASES <= env.numpy_aliases
+
+
+# -- function-level constant propagation -------------------------------------
+
+def test_straight_line_propagation():
+    ok, value = resolve_at(
+        "def f():\n"
+        "    a = 'halo'\n"
+        "    x = a + ':fields'\n"
+        "    probe(x)\n"
+    )
+    assert (ok, value) == (True, "halo:fields")
+
+
+def test_branch_join_equal_constants_survive():
+    ok, value = resolve_at(
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = 7\n"
+        "    else:\n"
+        "        x = 7\n"
+        "    probe(x)\n"
+    )
+    assert (ok, value) == (True, 7)
+
+
+def test_branch_join_different_constants_are_nonconst():
+    ok, _ = resolve_at(
+        "def f(c):\n"
+        "    x = 1\n"
+        "    if c:\n"
+        "        x = 2\n"
+        "    probe(x)\n"
+    )
+    assert not ok
+
+
+def test_loop_reassignment_reaches_fixpoint_as_nonconst():
+    ok, _ = resolve_at(
+        "def f(n):\n"
+        "    x = 0\n"
+        "    for i in range(n):\n"
+        "        x = x + 1\n"
+        "    probe(x)\n"
+    )
+    assert not ok
+
+
+def test_constant_inside_loop_stays_constant():
+    ok, value = resolve_at(
+        "def f(n):\n"
+        "    tag = 'ring'\n"
+        "    for i in range(n):\n"
+        "        probe(tag)\n"
+    )
+    assert (ok, value) == (True, "ring")
+
+
+def test_param_default_seeds_entry_state():
+    ok, value = resolve_at(
+        "PREFIX = 'halo'\n"
+        "def f(tag=PREFIX + ':fold'):\n"
+        "    probe(tag)\n"
+    )
+    assert (ok, value) == (True, "halo:fold")
+
+
+def test_param_without_default_is_nonconst():
+    ok, _ = resolve_at("def f(tag):\n    probe(tag)\n")
+    assert not ok
+
+
+def test_tuple_unpacking_binds_elementwise():
+    ok, value = resolve_at(
+        "def f():\n"
+        "    a, x = 1, 'two'\n"
+        "    probe(x)\n"
+    )
+    assert (ok, value) == (True, "two")
+
+
+def test_augassign_folds_on_constants():
+    ok, value = resolve_at(
+        "def f():\n"
+        "    x = 'a'\n"
+        "    x += 'b'\n"
+        "    probe(x)\n"
+    )
+    assert (ok, value) == (True, "ab")
+
+
+def test_return_path_does_not_leak_into_join():
+    ok, value = resolve_at(
+        "def f(c):\n"
+        "    x = 1\n"
+        "    if c:\n"
+        "        x = 2\n"
+        "        return x\n"
+        "    probe(x)\n"
+    )
+    assert (ok, value) == (True, 1)
+
+
+def test_try_handler_joins_conservatively():
+    ok, _ = resolve_at(
+        "def f():\n"
+        "    x = 1\n"
+        "    try:\n"
+        "        x = 2\n"
+        "    except ValueError:\n"
+        "        pass\n"
+        "    probe(x)\n"
+    )
+    assert not ok  # handler may run before or after the reassignment
+
+
+# -- array values and aliasing ----------------------------------------------
+
+def test_allocation_produces_array_value_with_dtype():
+    analysis = analyze(
+        "import numpy as np\n"
+        "def f():\n"
+        "    buf = np.zeros(4, dtype=np.float64)\n"
+        "    alias = buf\n"
+        "    probe(alias)\n"
+    )
+    fn = analysis.tree.body[1]
+    fa = analysis.function_analysis(fn)
+    probe_stmt = fn.body[2]
+    state = fa.state_before(probe_stmt)
+    assert isinstance(state["buf"], ArrayValue)
+    assert state["buf"].dtype == "np.float64"
+    assert state["alias"] == state["buf"]  # same allocation: aliased
+
+
+def test_distinct_allocations_do_not_alias():
+    analysis = analyze(
+        "import numpy as np\n"
+        "def f():\n"
+        "    a = np.zeros(4, dtype=float)\n"
+        "    b = np.zeros(4, dtype=float)\n"
+        "    probe(a)\n"
+    )
+    fn = analysis.tree.body[1]
+    state = analysis.function_analysis(fn).state_before(fn.body[2])
+    assert state["a"] != state["b"]
+
+
+def test_custom_numpy_alias_is_recognized():
+    analysis = analyze(
+        "import numpy as xp\n"
+        "def f():\n"
+        "    a = xp.empty(3, dtype=xp.float32)\n"
+        "    probe(a)\n"
+    )
+    fn = analysis.tree.body[1]
+    state = analysis.function_analysis(fn).state_before(fn.body[1])
+    assert isinstance(state["a"], ArrayValue)
+
+
+# -- module façade -----------------------------------------------------------
+
+def test_module_level_expressions_resolve_against_env():
+    analysis = analyze("P = 'x'\nTAG = P + ':y'\n")
+    assign = analysis.tree.body[1]
+    ok, value = analysis.resolve(assign.value)
+    assert (ok, value) == (True, "x:y")
+
+
+def test_enclosing_function_mapping():
+    analysis = analyze(
+        "def outer():\n"
+        "    def inner():\n"
+        "        x = 1\n"
+        "    y = 2\n"
+    )
+    outer = analysis.tree.body[0]
+    inner = outer.body[0]
+    assert analysis.enclosing_function(inner.body[0]) is inner
+    assert analysis.enclosing_function(outer.body[1]) is outer
+    assert analysis.enclosing_function(outer) is None
+
+
+def test_analysis_is_deterministic_and_cached():
+    source = (
+        "def f(c):\n"
+        "    x = 'a'\n"
+        "    if c:\n"
+        "        x = x + 'b'\n"
+        "    probe(x)\n"
+    )
+    analysis = analyze(source)
+    fn = analysis.tree.body[0]
+    assert analysis.function_analysis(fn) is analysis.function_analysis(fn)
+
+
+def test_worklist_terminates_on_nested_loops():
+    source = "def f(n):\n    x = 0\n"
+    for depth in range(4):
+        indent = "    " * (depth + 1)
+        source += f"{indent}for i{depth} in range(n):\n"
+    source += "    " * 5 + "x = x + 1\n"
+    analysis = analyze(source)
+    FunctionAnalysis(analysis.tree.body[0], analysis.env)  # must converge
