@@ -2,7 +2,10 @@
 
 A fixed problem is spread over more nodes until there are fewer cells per
 device than one block — the paper's scaling floor.  The expected shape:
-roughly 30 % efficiency loss per decade of nodes."""
+roughly 30 % efficiency loss per decade of nodes.
+
+These curves are *modelled*; for measured wall-clock scaling over real
+worker processes see ``bench_fig5_measured_local.py``."""
 
 import pytest
 

@@ -3,7 +3,12 @@
 Regenerates the efficiency-vs-nodes series from the calibrated network
 model and checks the paper's anchor points: Frontier 80 % at 8576 nodes,
 Fugaku 84 % at 152 064, Summit 74 % at 4263 (with the 15 % early drop from
-2 to 8 nodes), Perlmutter 62 % at 1088."""
+2 to 8 nodes), Perlmutter 62 % at 1088.
+
+These curves are *modelled* (alpha-beta network model); the measured
+counterpart on the machine running this suite — real worker processes
+over the multiprocessing transport, timed with a wall clock — lives in
+``bench_fig5_measured_local.py``."""
 
 import pytest
 

@@ -1,0 +1,180 @@
+"""CI gate: the multiprocessing transport is equivalent and faster.
+
+Two legs, mirroring the cross-transport differential matrix in
+``tests/test_transport_matrix.py``:
+
+1. **equivalence** — the golden Langmuir scenario on 4 worker processes
+   must be *bit-identical* to the in-process loopback run: every box's
+   fields and particles, the merged per-rank communication counters and
+   the halo totals.  Not machine precision — equality.
+2. **measured speedup** — a compute-heavy configuration is timed on both
+   transports.  The wall-clock ratio is always printed and recorded; the
+   ``>= 2x on 4 ranks`` assertion only arms when the machine actually
+   has 4 or more usable cores (a single-core CI box cannot speed
+   anything up by forking, and pretending otherwise would make the gate
+   dishonest exactly where it matters).
+
+Run:  PYTHONPATH=src python benchmarks/check_mp_transport.py
+"""
+
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.constants import m_e, plasma_wavelength, q_e
+from repro.parallel.distributed import DistributedSimulation
+from repro.parallel.mp_transport import (
+    run_distributed_local,
+    run_distributed_mp,
+)
+from repro.particles.injection import UniformProfile
+from repro.particles.species import Species
+
+N_RANKS = 4
+PARITY_STEPS = 10
+SPEEDUP_STEPS = 6
+#: measured-speedup floor, armed only with >= 4 usable cores
+SPEEDUP_FLOOR = 2.0
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "results",
+    "BENCH_check_mp_transport.json",
+)
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def make_build(n_cells=16, ppc=(2, 2), uy=0.3, smoothing_passes=1):
+    """The golden parity scenario (see tests/conftest.py)."""
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+
+    def build(transport=None):
+        sim = DistributedSimulation(
+            (n_cells,) * 2, (0.0, 0.0), (length, length),
+            n_ranks=N_RANKS, max_grid_size=n_cells // 2,
+            cfl=0.9, shape_order=2, smoothing_passes=smoothing_passes,
+            transport=transport,
+        )
+        e = Species("electrons", charge=-q_e, mass=m_e, ndim=2)
+        k = 2 * np.pi / length
+
+        def perturb(sp):
+            sp.momenta[:, 0] = 1e-3 * np.sin(k * sp.positions[:, 0])
+            if uy:
+                sp.momenta[:, 1] = uy
+
+        sim.add_species(e, profile=UniformProfile(n0), ppc=ppc,
+                        momentum_init=perturb)
+        return sim
+
+    return build
+
+
+def check_equivalence() -> int:
+    build = make_build()
+    want = run_distributed_local(build, PARITY_STEPS)
+    got = run_distributed_mp(build, PARITY_STEPS, N_RANKS)
+    bad = 0
+    for i, comps in want.fields.items():
+        for comp, arr in comps.items():
+            if not np.array_equal(got.fields[i][comp], arr):
+                print(f"FAIL: field {comp} of box {i} differs")
+                bad += 1
+    for name, per_box in want.species.items():
+        for i, arrs in per_box.items():
+            g = got.species[name][i]
+            og, ow = np.argsort(g["ids"]), np.argsort(arrs["ids"])
+            for key in ("ids", "positions", "momenta", "weights"):
+                if not np.array_equal(g[key][og], arrs[key][ow]):
+                    print(f"FAIL: particle {key} in box {i} differ")
+                    bad += 1
+    if not np.array_equal(got.counters.bytes_sent, want.counters.bytes_sent):
+        print("FAIL: per-rank bytes_sent diverge")
+        bad += 1
+    if got.counters.pair_bytes != want.counters.pair_bytes:
+        print("FAIL: pair-byte matrices diverge")
+        bad += 1
+    if got.halo != want.halo:
+        print(f"FAIL: halo totals diverge ({got.halo} vs {want.halo})")
+        bad += 1
+    if bad == 0:
+        print(
+            f"OK: {PARITY_STEPS}-step golden run bit-identical across "
+            f"transports ({len(want.fields)} boxes, "
+            f"{got.total_particles()} particles, "
+            f"{got.counters.total_bytes()} wire bytes)"
+        )
+    return bad
+
+
+def measure_speedup():
+    """Wall-clock ratio loopback/multiprocessing on a heavier problem."""
+    build = make_build(n_cells=32, ppc=(3, 3), smoothing_passes=0)
+    t0 = time.perf_counter()
+    run_distributed_local(build, SPEEDUP_STEPS)
+    t_loop = time.perf_counter() - t0
+    mp_res = run_distributed_mp(
+        build, SPEEDUP_STEPS, N_RANKS, run_timeout=600.0
+    )
+    t_mp = mp_res.wall_time
+    return t_loop, t_mp
+
+
+def main() -> int:
+    failures = check_equivalence()
+    cores = usable_cores()
+    t_loop, t_mp = measure_speedup()
+    speedup = t_loop / t_mp if t_mp > 0 else float("inf")
+    armed = cores >= N_RANKS
+    print(
+        f"measured wall-clock on {cores} usable core(s): "
+        f"loopback {t_loop:.2f}s, multiprocessing({N_RANKS} ranks) "
+        f"{t_mp:.2f}s -> speedup {speedup:.2f}x"
+    )
+    os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+    with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "generated": datetime.now(timezone.utc).isoformat(),
+                "usable_cores": cores,
+                "n_ranks": N_RANKS,
+                "loopback_wall_s": t_loop,
+                "multiprocessing_wall_s": t_mp,
+                "measured_speedup": speedup,
+                "speedup_gate_armed": armed,
+                "speedup_floor": SPEEDUP_FLOOR,
+            },
+            fh,
+            indent=2,
+        )
+    if armed and speedup < SPEEDUP_FLOOR:
+        print(
+            f"FAIL: measured speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x "
+            f"floor with {cores} cores available"
+        )
+        failures += 1
+    elif not armed:
+        print(
+            f"note: speedup floor not armed ({cores} < {N_RANKS} cores); "
+            "ratio recorded as measured"
+        )
+    if failures:
+        print(f"FAIL: {failures} mp-transport gate(s) failed")
+        return 1
+    print("OK: multiprocessing transport equivalent to loopback"
+          + (f" and {speedup:.2f}x faster" if armed else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,8 +52,10 @@ class DistributedObserver:
         m = self.metrics
         comm = sim.comm
 
-        # particles: pushed this step (counter) and currently live (gauge)
-        live = sim.total_particles()
+        # particles: pushed this step (counter) and currently live
+        # (gauge); owned boxes only, so SPMD per-rank snapshots sum to
+        # the global count
+        live = sim.local_particles()
         m.counter("particles.pushed").add(live)
         m.gauge("particles.live").set(live)
 

@@ -17,7 +17,7 @@ per-phase accounting needs no manual bookkeeping.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.exceptions import ObservabilityError
 
@@ -222,6 +222,56 @@ class MetricsRegistry:
     def dump_json(self, path: str) -> None:
         with open(path, "w", encoding="utf8") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+
+
+#: metrics that are per-rank views of one global quantity: merge by max,
+#: not sum (every rank reports the same imbalance / dead-rank / count of
+#: collective operations it took part in)
+DEFAULT_MAX_MERGE = ("lb.imbalance", "resilience.dead_ranks",
+                     "comm.collectives", "lb.rebalances", "lb.boxes_moved")
+
+
+def merge_snapshots(
+    snapshots: Sequence[Dict[str, Any]],
+    max_names: Sequence[str] = DEFAULT_MAX_MERGE,
+) -> Dict[str, Any]:
+    """Fold per-rank metric snapshots into one whole-simulation view.
+
+    Numeric metrics sum across ranks — each rank observes only its own
+    share of the work, so the sum is the loopback (all-ranks-local)
+    value — except metrics whose *name* part is in ``max_names``, which
+    are per-rank readings of the same global quantity and merge by max.
+    Histogram summaries merge structurally (count/sum add, min/max fold,
+    mean recomputed).
+    """
+    merged: Dict[str, Any] = {}
+    for snap in snapshots:
+        for mid, value in snap.items():
+            if isinstance(value, dict):
+                prev = merged.setdefault(
+                    mid,
+                    {"count": 0, "sum": 0.0,
+                     "min": float("inf"), "max": float("-inf")},
+                )
+                prev["count"] += value.get("count", 0)
+                prev["sum"] += value.get("sum", 0.0)
+                if value.get("count", 0) > 0:
+                    prev["min"] = min(prev["min"], value.get("min", 0.0))
+                    prev["max"] = max(prev["max"], value.get("max", 0.0))
+                continue
+            name, _labels = parse_metric_id(mid)
+            if name in max_names:
+                merged[mid] = max(merged.get(mid, float("-inf")), value)
+            else:
+                merged[mid] = merged.get(mid, 0) + value
+    for mid, value in merged.items():
+        if isinstance(value, dict):
+            if value["count"] == 0:
+                merged[mid] = {"count": 0, "sum": 0.0, "min": 0.0,
+                               "max": 0.0, "mean": 0.0}
+            else:
+                value["mean"] = value["sum"] / value["count"]
+    return merged
 
 
 def comm_matrix_from_snapshot(

@@ -21,7 +21,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.diagnostics.timers import now
 from repro.exceptions import CommunicationError, ResilienceError
+from repro.parallel.transport import LoopbackTransport, Transport
 
 #: fault events a :class:`FaultInjector <repro.resilience.faults.
 #: FaultInjector>` can leave in the log
@@ -108,11 +110,32 @@ class SimComm:
     #: modelled pinned-host vs device bandwidth ratio for spilled traffic
     SPILL_SLOWDOWN = 4.0
 
-    def __init__(self, n_ranks: int, device_buffer_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        device_buffer_bytes: Optional[int] = None,
+        transport: Optional[Transport] = None,
+    ) -> None:
         if n_ranks < 1:
             raise CommunicationError(f"need at least one rank, got {n_ranks}")
         self.n_ranks = int(n_ranks)
-        self._queues: Dict[Tuple[int, int, str], List[Any]] = defaultdict(list)
+        #: where messages physically live between send and recv
+        self.transport: Transport = (
+            transport if transport is not None else LoopbackTransport()
+        )
+        self.transport.bind(self)
+        #: rank this endpoint belongs to (None: every rank is local)
+        self.local_rank = self.transport.local_rank
+        if self.transport.blocking and device_buffer_bytes is not None:
+            raise CommunicationError(
+                "device-buffer spill modelling needs the loopback transport "
+                "(the receiver cannot release a remote sender's buffer)"
+            )
+        # the local landing store: the loopback wire itself, or the
+        # drained inbox of a multi-process endpoint
+        self._queues: Dict[Tuple[int, int, str], List[Any]] = (
+            self.transport.queues
+        )
         # accounting
         self.bytes_sent = np.zeros(self.n_ranks, dtype=np.int64)
         self.messages_sent = np.zeros(self.n_ranks, dtype=np.int64)
@@ -181,8 +204,8 @@ class SimComm:
     ) -> None:
         self._account_buffer(src, nbytes)
         self._record("send", src, dst, tag, nbytes)
-        self._queues[(src, dst, tag)].append(
-            (src, nbytes, payload, msg_id, checksum)
+        self.transport.deliver(
+            (src, dst, tag), (src, nbytes, payload, msg_id, checksum)
         )
 
     def send(self, src: int, dst: int, payload: Any, tag: str = "") -> None:
@@ -234,8 +257,8 @@ class SimComm:
                         src, dst, tag, payload, nbytes, msg_id, checksum
                     )
                     self._record("fault_duplicate", src, dst, tag, nbytes)
-                    self._queues[key].append(
-                        (src, nbytes, payload, msg_id, checksum)
+                    self.transport.deliver(
+                        key, (src, nbytes, payload, msg_id, checksum)
                     )
                     return
                 raise CommunicationError(
@@ -245,7 +268,14 @@ class SimComm:
             return
         self._account_buffer(src, nbytes)
         self._record("send", src, dst, tag, nbytes)
-        self._queues[(src, dst, tag)].append((src, nbytes, payload, msg_id, None))
+        # remote endpoints always checksum: the wire is a real process
+        # boundary there, so integrity must not depend on fault injection
+        checksum = (
+            payload_checksum(payload) if self.transport.blocking else None
+        )
+        self.transport.deliver(
+            (src, dst, tag), (src, nbytes, payload, msg_id, checksum)
+        )
 
     def recv(self, src: int, dst: int, tag: str = "") -> Any:
         """Dequeue the oldest matching message (releases its buffer space).
@@ -263,16 +293,46 @@ class SimComm:
         key = (src, dst, tag)
         if self.fault_injector is not None:
             return self._recv_resilient(key)
+        self.transport.drain()
         queue = self._queues.get(key)
+        while not queue:
+            if not self.transport.wait(key):
+                break
+            self.transport.drain()
+            queue = self._queues.get(key)
         if not queue:
+            if self.transport.blocking:
+                self._raise_timeout(src, dst, tag)
             self._raise_missing(src, dst, tag)
-        sender, nbytes, payload, _msg_id, _checksum = queue.pop(0)
+        sender, nbytes, payload, _msg_id, checksum = queue.pop(0)
         if self.device_buffer_bytes is not None:
             self._buffer_in_use[sender] = max(
                 self._buffer_in_use[sender] - nbytes, 0
             )
+        if checksum is not None and payload_checksum(payload) != checksum:
+            self._record("recv", src, dst, tag, nbytes)
+            raise ResilienceError(
+                "corrupted message detected "
+                f"({_msg_context('recv', src, dst, tag)}) with no fault "
+                "injector attached: the transport itself mangled the payload"
+            )
         self._record("recv", src, dst, tag, nbytes)
         return payload
+
+    def _raise_timeout(self, src: int, dst: int, tag: str) -> None:
+        """A blocking recv ran out of patience: the peer is likely dead.
+
+        Recorded as ``recv_missing`` (the audit trail shows where the
+        run stalled) and raised as :class:`ResilienceError` with full
+        message context, never a silent hang.
+        """
+        self._record("recv_missing", src, dst, tag, 0)
+        timeout = getattr(self.transport, "recv_timeout", None)
+        raise ResilienceError(
+            f"no message ({_msg_context('recv', src, dst, tag)}) after "
+            f"{timeout}s on the {self.transport.kind} transport; the "
+            f"worker process for rank {src} may have died mid-phase"
+        )
 
     def _raise_missing(self, src: int, dst: int, tag: str) -> None:
         self._record("recv_missing", src, dst, tag, 0)
@@ -296,6 +356,7 @@ class SimComm:
         max_retries = policy.max_retries if policy is not None else 0
         attempts = 0
         while True:
+            self.transport.drain()
             queue = self._queues.get(key)
             while queue:
                 sender, nbytes, payload, msg_id, checksum = queue.pop(0)
@@ -312,6 +373,21 @@ class SimComm:
                     continue
                 if checksum is not None and payload_checksum(payload) != checksum:
                     self._record("recv", src, dst, tag, nbytes)
+                    if self.transport.blocking:
+                        # the original lives in the *sender's* process:
+                        # NACK it and wait for the retransmission (the
+                        # sender records the recover_retry, pairing the
+                        # fault on its own log)
+                        if policy is None:
+                            raise ResilienceError(
+                                "corrupted message detected "
+                                f"({_msg_context('recv', src, dst, tag)}) "
+                                "and no recovery policy is attached to "
+                                "retransmit it"
+                            )
+                        self.transport.request_retransmit(key, msg_id)
+                        queue = self._queues.get(key)
+                        continue
                     original = self._take_lost(key, msg_id)
                     if policy is None or original is None:
                         raise ResilienceError(
@@ -372,6 +448,13 @@ class SimComm:
                 progressed = True
             if progressed:
                 continue
+            if self.transport.blocking:
+                # nothing recoverable receiver-side: the sender holds the
+                # retransmission buffers, so wait (probing it) for more
+                # traffic instead of giving up
+                if self.transport.wait(key):
+                    continue
+                self._raise_timeout(src, dst, tag)
             if delayed and policy is not None and attempts < max_retries:
                 attempts += 1
                 policy.note_backoff(attempts)
@@ -397,6 +480,71 @@ class SimComm:
                 return self._lost[key].pop(i)
         return None
 
+    # -- sender-side control servicing (blocking transports) ---------------
+    def service_nack(self, key: Tuple[int, int, str], msg_id: int) -> bool:
+        """Retransmit the buffered original of a NACKed message.
+
+        A remote receiver detected a checksum mismatch and asked for
+        ``msg_id`` again; the original sits in this endpoint's
+        retransmission buffer.  Mirrors the loopback corrupt-recovery
+        path: new message id, fresh checksum, ``recover_retry`` recorded
+        on the *sender's* log (where the ``fault_corrupt`` it pairs with
+        also lives).
+        """
+        src, dst, tag = key
+        original = self._take_lost(key, msg_id)
+        if original is None:
+            return False
+        self._record("recover_retry", src, dst, tag, original[1])
+        if self.recovery is not None:
+            self.recovery.note_retry(0)
+        self._enqueue(
+            src, dst, tag, original[2], original[1],
+            self._next_msg_id(), payload_checksum(original[2]),
+        )
+        return True
+
+    def service_probe(self, key: Tuple[int, int, str]) -> bool:
+        """Service a remote receiver's nothing-arrived probe for ``key``.
+
+        One probe is one backoff tick: delayed messages count down (and
+        redeliver at zero), then any known-lost message is retransmitted.
+        This is the sender-side half of the loopback no-progress branch
+        of :meth:`_recv_resilient`, relocated to the process that
+        actually holds the ``_delayed``/``_lost`` buffers.
+        """
+        src, dst, tag = key
+        policy = self.recovery
+        progressed = False
+        delayed = self._delayed.get(key)
+        if delayed:
+            for entry in delayed:
+                entry[0] -= 1
+            ready = [e for e in delayed if e[0] <= 0]
+            if ready:
+                for _countdown, msg_id, nbytes, payload in ready:
+                    self._record("recover_redeliver", src, dst, tag, nbytes)
+                    if policy is not None:
+                        policy.note_redeliver()
+                    self._enqueue(
+                        src, dst, tag, payload, nbytes, msg_id,
+                        payload_checksum(payload),
+                    )
+                self._delayed[key] = [e for e in delayed if e[0] > 0]
+                progressed = True
+        lost = self._lost.get(key)
+        if not progressed and lost:
+            msg_id, nbytes, payload = lost.pop(0)
+            self._record("recover_retry", src, dst, tag, nbytes)
+            if policy is not None:
+                policy.note_retry(0)
+            self._enqueue(
+                src, dst, tag, payload, nbytes, msg_id,
+                payload_checksum(payload),
+            )
+            progressed = True
+        return progressed
+
     # -- resilience hooks --------------------------------------------------
     def attach_resilience(self, injector, recovery=None) -> None:
         """Attach a fault injector and (optionally) a recovery policy.
@@ -417,6 +565,7 @@ class SimComm:
         delayed message was never asked for again — a fault nobody
         recovered must stop the run, not linger silently.
         """
+        self.transport.drain()
         if self.fault_injector is None:
             return
         for key, queue in self._queues.items():
@@ -431,15 +580,29 @@ class SimComm:
                 else:
                     kept.append(entry)
             queue[:] = kept
-        leftovers = sorted(
-            key for key, entries in self._lost.items() if entries
-        ) + sorted(key for key, entries in self._delayed.items() if entries)
+        leftovers = self._fault_leftovers()
+        if leftovers and self.transport.blocking:
+            # remote receivers recover through probe/NACK control
+            # messages, which may still be on their way here: keep
+            # servicing the inbox until the buffers empty or the
+            # transport's own patience runs out
+            deadline = now() + getattr(
+                self.transport, "recv_timeout", 0.0
+            )
+            while leftovers and now() < deadline:
+                self.transport.pump()
+                leftovers = self._fault_leftovers()
         if leftovers:
             raise ResilienceError(
                 "unrecovered message fault(s) at end of step for "
                 f"(src, dst, tag) = {leftovers}; the receiver never "
                 "re-requested the lost/delayed message"
             )
+
+    def _fault_leftovers(self) -> List[Tuple[int, int, str]]:
+        return sorted(
+            key for key, entries in self._lost.items() if entries
+        ) + sorted(key for key, entries in self._delayed.items() if entries)
 
     def record_rank_failure(self, rank: int) -> None:
         """Log a hard rank failure (audited by commcheck rule RES002)."""
@@ -493,6 +656,16 @@ class SimComm:
         """
         if rank is not None:
             self._check_rank(rank, "", "allreduce_sum")
+        if self.transport.blocking:
+            # a real reduction across worker processes; the modelled
+            # accounting below is unchanged so counters stay transport-
+            # independent
+            if rank is None:
+                raise CommunicationError(
+                    "allreduce_sum on a blocking transport needs the "
+                    "calling rank (every worker participates explicitly)"
+                )
+            values = self.transport.allreduce(values)
         self.collective_calls += 1
         nbytes = payload_nbytes(values)
         rounds = max(int(np.ceil(np.log2(max(self.n_ranks, 2)))), 1)
@@ -508,7 +681,13 @@ class SimComm:
         return values
 
     def barrier(self, rank: Optional[int] = None) -> None:
-        """Record a barrier; per-rank participation mirrors allreduce_sum."""
+        """Record a barrier; per-rank participation mirrors allreduce_sum.
+
+        On a blocking transport this is additionally a *real* rendezvous:
+        no worker proceeds until every rank has arrived.
+        """
+        if self.transport.blocking:
+            self.transport.sync()
         self.barrier_calls += 1
         if rank is None:
             for r in range(self.n_ranks):

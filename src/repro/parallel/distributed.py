@@ -106,11 +106,13 @@ class DistributedSimulation:
         dynamic_lb: bool = False,
         lb_interval: int = 10,
         lb_threshold: float = 1.1,
+        lb_cost_source: str = "measured",
         fault_schedule: Optional["FaultSchedule"] = None,
         recovery: Optional["RecoveryPolicy"] = None,
         checkpoint_interval: int = 0,
         checkpoint_dir: Optional[str] = None,
         tracer=None,
+        transport=None,
     ) -> None:
         self.domain = YeeGrid(n_cells, lo, hi, guards=guards)
         self.dt = float(dt) if dt is not None else cfl_dt(self.domain.dx, cfl)
@@ -120,7 +122,9 @@ class DistributedSimulation:
         self.smoothing_passes = int(smoothing_passes)
         self.boxes = chop_domain(n_cells, max_grid_size)
         self.dm = DistributionMapping(self.boxes, n_ranks, strategy)
-        self.comm = SimComm(n_ranks)
+        self.comm = SimComm(n_ranks, transport=transport)
+        #: SPMD rank of this process (None: all ranks live here)
+        self.local_rank = self.comm.local_rank
         self.timers = Timers()
         #: span recorder; the shared no-op unless observability is attached
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -157,6 +161,12 @@ class DistributedSimulation:
         self.dynamic_lb = bool(dynamic_lb)
         self.lb_interval = int(lb_interval)
         self.lb_threshold = float(lb_threshold)
+        if lb_cost_source not in ("measured", "heuristic"):
+            raise ConfigurationError(
+                f"lb_cost_source must be 'measured' or 'heuristic', "
+                f"got {lb_cost_source!r}"
+            )
+        self.lb_cost_source = lb_cost_source
         self.cost_model = CostModel()
         self.lb_events: List[int] = []
         #: opt-in runtime invariant checks (None unless REPRO_SANITIZE=1)
@@ -167,7 +177,30 @@ class DistributedSimulation:
         self.dead_ranks: Set[int] = set()
         #: fault-injection / checkpoint / recovery orchestration (optional)
         self.resilience: Optional["ResilienceManager"] = None
-        if (
+        if self.local_rank is not None:
+            # SPMD: each worker holds one rank, so the whole-simulation
+            # services (checkpoint/restore, rank-failure evacuation)
+            # cannot run inside a worker; a dead worker surfaces as a
+            # recv timeout (ResilienceError) instead.  Message-level
+            # fault injection and recovery stay fully supported.
+            if checkpoint_interval > 0 or checkpoint_dir is not None:
+                raise ConfigurationError(
+                    "checkpointing is not supported on a per-process "
+                    "transport: run checkpoints on the loopback transport"
+                )
+            if fault_schedule is not None and fault_schedule.rank_failures():
+                raise ConfigurationError(
+                    "rank_failure faults are not supported on a "
+                    "per-process transport (a dead worker raises a recv "
+                    "timeout); use message-level faults here"
+                )
+            if fault_schedule is not None:
+                from repro.resilience.faults import FaultInjector
+
+                self.comm.attach_resilience(
+                    FaultInjector(fault_schedule), recovery
+                )
+        elif (
             fault_schedule is not None
             or checkpoint_interval > 0
             or checkpoint_dir is not None
@@ -214,6 +247,11 @@ class DistributedSimulation:
         self.species[species.name] = dsp
         return dsp
 
+    def owns_box(self, i: int) -> bool:
+        """Does this endpoint compute box ``i``?  (Always true when every
+        rank is local; under SPMD, grids of unowned boxes stay stale.)"""
+        return self.local_rank is None or self.dm.rank_of(i) == self.local_rank
+
     # -- the decomposed PIC cycle ------------------------------------------
     def step(self, n: int = 1) -> None:
         """Advance ``n`` steps (counted by target step number).
@@ -238,8 +276,12 @@ class DistributedSimulation:
             self.timers.reset_lap()
             if self.resilience is not None:
                 self.resilience.begin_step(self)
+            elif self.comm.fault_injector is not None:
+                self.comm.fault_injector.begin_step(self.step_count)
             with self._phase("particles"):
                 for i, (box, bg) in enumerate(zip(self.boxes, self.box_grids)):
+                    if not self.owns_box(i):
+                        continue
                     bg.zero_sources()
                     with self.tracer.span(
                         "box", cat="box", rank=self.dm.rank_of(i), box=i
@@ -274,6 +316,50 @@ class DistributedSimulation:
                 self.shape_order,
             )
 
+    def _lb_costs(self) -> np.ndarray:
+        """Per-box cost vector driving the rebalance decision.
+
+        ``"measured"`` uses the wall-clock EMA of the cost model — the
+        paper's measured-runtime mode, inherently run-dependent.
+        ``"heuristic"`` is a pure function of cell and live particle
+        counts, so every transport produces the same vector — the mode
+        the cross-transport parity tests pin.  Under SPMD each rank only
+        knows its own boxes' entries, so a real allreduce assembles the
+        global vector; the loopback heuristic path makes the matching
+        ``rank=None`` accounting call, keeping counters
+        transport-independent.
+        """
+        n = len(self.boxes)
+        if self.lb_cost_source == "heuristic":
+            cells = np.array(
+                [b.n_cells for b in self.boxes], dtype=np.float64
+            )
+            parts = np.array(
+                [
+                    sum(d.per_box[i].n for d in self.species.values())
+                    for i in range(n)
+                ],
+                dtype=np.float64,
+            )
+            costs = self.cost_model.heuristic(cells, parts)
+            if self.local_rank is not None:
+                owned = np.array(
+                    [self.owns_box(i) for i in range(n)], dtype=bool
+                )
+                costs = np.where(owned, costs, 0.0)
+            return np.asarray(
+                self.comm.allreduce_sum(costs, rank=self.local_rank),
+                dtype=np.float64,
+            )
+        costs = self.cost_model.measured(range(n), default=0.0)
+        if self.local_rank is not None:
+            # each worker measured only its own boxes; sum the pieces
+            costs = np.asarray(
+                self.comm.allreduce_sum(costs, rank=self.local_rank),
+                dtype=np.float64,
+            )
+        return costs
+
     def _note_halo(self, stats) -> None:
         """Fold one exchange's stats into the cumulative halo counters."""
         self.halo_samples += stats.samples
@@ -293,7 +379,9 @@ class DistributedSimulation:
             if self.smoothing_passes > 0:
                 # smooth each box's raw deposits (guards included) before
                 # folding, mirroring the monolithic smooth-then-fold order
-                for bg in self.box_grids:
+                for i, bg in enumerate(self.box_grids):
+                    if not self.owns_box(i):
+                        continue
                     for comp in ("Jx", "Jy", "Jz"):
                         for axis in range(ndim):
                             smooth_binomial(
@@ -306,11 +394,13 @@ class DistributedSimulation:
                 self.fold_overlaps,
                 self.dm.assignment,
                 guards=self.domain.guards,
+                local_rank=self.local_rank,
             ))
 
         with self._phase("maxwell"):
-            for solver in self.box_solvers:
-                solver.step()
+            for i, solver in enumerate(self.box_solvers):
+                if self.owns_box(i):
+                    solver.step()
 
         with self._phase("halo_fields"):
             self._note_halo(exchange_halos(
@@ -321,12 +411,13 @@ class DistributedSimulation:
                 self.dm.assignment,
                 guards=self.domain.guards,
                 components=FIELD_COMPONENTS,
+                local_rank=self.local_rank,
             ))
 
         with self._phase("redistribute"):
             for dsp in self.species.values():
-                for sp in dsp.per_box:
-                    if sp.n:
+                for i, sp in enumerate(dsp.per_box):
+                    if sp.n and self.owns_box(i):
                         wrap_positions_periodic(
                             sp.positions, self.domain.lo, self.domain.hi,
                             periodic_axes,
@@ -339,6 +430,7 @@ class DistributedSimulation:
                     self.domain.dx,
                     comm=self.comm,
                     rank_of_box=self.dm.assignment,
+                    local_rank=self.local_rank,
                 )
 
         if (
@@ -346,7 +438,7 @@ class DistributedSimulation:
             and self.step_count % self.lb_interval == self.lb_interval - 1
         ):
             with self._phase("load_balance"):
-                costs = self.cost_model.measured(range(len(self.boxes)), default=0.0)
+                costs = self._lb_costs()
                 imb = self.dm.imbalance(costs, exclude_ranks=self.dead_ranks)
                 if imb > self.lb_threshold:
                     old_assignment = self.dm.assignment.copy()
@@ -361,6 +453,7 @@ class DistributedSimulation:
                             self.species,
                             old_assignment,
                             self.dm.assignment,
+                            local_rank=self.local_rank,
                         )
                         self.lb_moved_bytes += nbytes
                     self.lb_events.append(moved)
@@ -371,6 +464,8 @@ class DistributedSimulation:
 
         if self.resilience is not None:
             self.resilience.finish_step(self)
+        elif self.comm.fault_injector is not None:
+            self.comm.finish_step()
 
         if self._observer is not None:
             self._observer.observe()
@@ -390,23 +485,29 @@ class DistributedSimulation:
         """Per-step invariant checks (opt-in via ``REPRO_SANITIZE=1``)."""
         step = self.step_count
         san = self.sanitizer
-        # the step loop no longer maintains the global grid — refresh it
-        # here (diagnostics-only) so the global invariants stay meaningful
-        assemble_global(
-            self.domain,
-            self.box_grids,
-            self.boxes,
-            FIELD_COMPONENTS,
-            periodic_axes=tuple(range(self.domain.ndim)),
-        )
-        san.check_fields_finite(self.domain, step, label=" (global)")
-        for axis in range(self.domain.ndim):
-            san.check_guard_consistency(self.domain, axis, step, label=" (global)")
+        if self.local_rank is None:
+            # the step loop no longer maintains the global grid — refresh
+            # it here (diagnostics-only) so the global invariants stay
+            # meaningful.  Under SPMD no process holds the global state
+            # (unowned grids are stale), so only per-box checks run.
+            assemble_global(
+                self.domain,
+                self.box_grids,
+                self.boxes,
+                FIELD_COMPONENTS,
+                periodic_axes=tuple(range(self.domain.ndim)),
+            )
+            san.check_fields_finite(self.domain, step, label=" (global)")
+            for axis in range(self.domain.ndim):
+                san.check_guard_consistency(
+                    self.domain, axis, step, label=" (global)"
+                )
         for i, bg in enumerate(self.box_grids):
-            san.check_fields_finite(bg, step, label=f" (box {i})")
+            if self.owns_box(i):
+                san.check_fields_finite(bg, step, label=f" (box {i})")
         for name, dsp in self.species.items():
-            for sp in dsp.per_box:
-                if sp.n:
+            for i, sp in enumerate(dsp.per_box):
+                if sp.n and self.owns_box(i):
                     san.check_particles_in_domain(
                         name,
                         sp.positions,
@@ -415,11 +516,23 @@ class DistributedSimulation:
                         step,
                         where="redistribute",
                     )
-        san.check_comm_quiescent(self.comm, step)
+        if self.local_rank is None:
+            # an SPMD endpoint may legitimately hold early arrivals from
+            # a rank that already entered the next step
+            san.check_comm_quiescent(self.comm, step)
 
     # -- diagnostics -------------------------------------------------------
+    def _require_global(self, what: str) -> None:
+        if self.local_rank is not None:
+            raise ConfigurationError(
+                f"{what} needs the global grid, which no SPMD worker "
+                "holds; gather per-box state through the transport runner "
+                "instead (repro.parallel.mp_transport.run_distributed_mp)"
+            )
+
     def global_field_view(self, component: str) -> np.ndarray:
         """The assembled global field (valid region)."""
+        self._require_global("global_field_view")
         assemble_global(
             self.domain,
             self.box_grids,
@@ -432,7 +545,22 @@ class DistributedSimulation:
     def total_particles(self) -> int:
         return sum(d.total_n() for d in self.species.values())
 
+    def local_particles(self) -> int:
+        """Particles in boxes this endpoint owns.
+
+        Equal to :meth:`total_particles` when all ranks are local; on an
+        SPMD endpoint it skips the stale unowned containers, so per-rank
+        values sum to the global count.
+        """
+        return sum(
+            dsp.per_box[i].n
+            for dsp in self.species.values()
+            for i in range(len(self.boxes))
+            if self.owns_box(i)
+        )
+
     def field_energy(self) -> float:
+        self._require_global("field_energy")
         assemble_global(
             self.domain,
             self.box_grids,

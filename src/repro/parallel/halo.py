@@ -279,6 +279,7 @@ def _run_exchange(
     components: Sequence[str],
     tag: str,
     accumulate: bool,
+    local_rank: Optional[int] = None,
 ) -> HaloExchangeStats:
     """Pack, send, receive and apply one exchange phase.
 
@@ -296,9 +297,20 @@ def _run_exchange(
     bit-identical to the same run under any other assignment, which is
     what the resilience layer's recovered-equals-fault-free contract
     requires.
+
+    With ``local_rank`` set (SPMD: one process per rank on a blocking
+    transport) the overlap enumeration still runs in full — every rank
+    derives the same canonical order indices and the same cross-rank
+    pair set from slice geometry alone — but data is packed only where
+    this rank owns the source box, sent only on pairs it sources,
+    received only on pairs it sinks, and applied only into boxes it
+    owns.  Per-rank stats sum to the loopback totals: ``samples`` and
+    ``local_copies`` are counted by the packer, ``messages`` and
+    ``payload_bytes`` by the receiver.
     """
     stats = HaloExchangeStats()
     pair_payloads: Dict[Tuple[int, int], List] = {}
+    cross_pairs: set = set()
     entries: List[Tuple[int, int, str, Tuple[int, ...], np.ndarray]] = []
     order = 0
     for ov in overlaps:
@@ -312,20 +324,34 @@ def _run_exchange(
             if sls is None:
                 continue
             dst_sl, src_sl = sls
-            data = src_fields[comp][src_sl].copy()
-            entry = (order, ov.dst, comp, tuple(s.start for s in dst_sl), data)
+            pack = local_rank is None or src_rank == local_rank
+            if src_rank != dst_rank:
+                cross_pairs.add((src_rank, dst_rank))
+            if pack:
+                data = src_fields[comp][src_sl].copy()
+                entry = (
+                    order, ov.dst, comp,
+                    tuple(s.start for s in dst_sl), data,
+                )
+                stats.samples += data.size
+                if src_rank == dst_rank:
+                    entries.append(entry)
+                    stats.local_copies += 1
+                else:
+                    pair_payloads.setdefault(
+                        (src_rank, dst_rank), []
+                    ).append(entry)
             order += 1
-            stats.samples += data.size
-            if src_rank == dst_rank:
-                entries.append(entry)
-                stats.local_copies += 1
-            else:
-                pair_payloads.setdefault((src_rank, dst_rank), []).append(entry)
-    pairs = sorted(pair_payloads)
-    comm.begin_phase(tag, n_messages=len(pairs))
-    for pair in pairs:
+    send_pairs = sorted(
+        p for p in cross_pairs if local_rank is None or p[0] == local_rank
+    )
+    recv_pairs = sorted(
+        p for p in cross_pairs if local_rank is None or p[1] == local_rank
+    )
+    comm.begin_phase(tag, n_messages=len(send_pairs))
+    for pair in send_pairs:
         comm.send(pair[0], pair[1], pair_payloads[pair], tag=tag)
-    for pair in pairs:
+    for pair in recv_pairs:
         payload = comm.recv(pair[0], pair[1], tag=tag)
         stats.messages += 1
         stats.payload_bytes += payload_nbytes(payload)
@@ -347,6 +373,7 @@ def fold_sources_pairwise(
     guards: int,
     components: Sequence[str] = SOURCE_COMPONENTS,
     tag: str = HALO_TAG_PREFIX + ":fold",
+    local_rank: Optional[int] = None,
 ) -> HaloExchangeStats:
     """Accumulate guard-cell J/rho deposits into their owning boxes.
 
@@ -365,7 +392,7 @@ def fold_sources_pairwise(
             )
     return _run_exchange(
         comm, box_grids, boxes, overlaps, rank_of_box, guards,
-        components, tag, accumulate=True,
+        components, tag, accumulate=True, local_rank=local_rank,
     )
 
 
@@ -378,6 +405,7 @@ def exchange_halos(
     guards: int,
     components: Sequence[str] = FIELD_COMPONENTS,
     tag: str = HALO_TAG_PREFIX + ":fields",
+    local_rank: Optional[int] = None,
 ) -> HaloExchangeStats:
     """Overwrite every guard sample with its canonical owner's value.
 
@@ -393,7 +421,7 @@ def exchange_halos(
             )
     return _run_exchange(
         comm, box_grids, boxes, overlaps, rank_of_box, guards,
-        components, tag, accumulate=False,
+        components, tag, accumulate=False, local_rank=local_rank,
     )
 
 

@@ -61,6 +61,17 @@ def wrap_positions_periodic(
         x += domain_lo[d]
 
 
+def _batch_from_arrays(proto: Species, arrays: Tuple) -> Species:
+    """A particle batch rebuilt from a received array payload."""
+    pos, mom, wgt, ids = arrays
+    batch = Species(proto.name, proto.charge, proto.mass, proto.ndim, proto.dtype)
+    batch.positions = np.asarray(pos, dtype=proto.dtype)
+    batch.momenta = np.asarray(mom, dtype=proto.dtype)
+    batch.weights = np.asarray(wgt, dtype=proto.dtype)
+    batch.ids = np.asarray(ids, dtype=np.int64)
+    return batch
+
+
 def redistribute_particles(
     species_per_box: Sequence[Species],
     boxes: Sequence[Box],
@@ -69,18 +80,33 @@ def redistribute_particles(
     dx: Sequence[float],
     comm: Optional[SimComm] = None,
     rank_of_box: Optional[Sequence[int]] = None,
+    local_rank: Optional[int] = None,
 ) -> int:
     """Move particles to their owning boxes; returns how many moved.
 
     ``species_per_box`` holds one container per box (same species).  When
-    ``comm``/``rank_of_box`` are given, cross-rank moves are recorded as
-    messages carrying the particles' position+momentum+weight+id payload.
+    ``comm``/``rank_of_box`` are given, cross-rank moves travel as
+    messages carrying the particles' position+momentum+weight+id arrays.
+
+    The wire protocol is deterministic: exactly one message per ordered
+    pair of distinct active ranks (derived from ``rank_of_box`` alone),
+    carrying every batch moving between that pair — possibly none, a
+    zero-byte message.  A receiver therefore never has to predict
+    data-dependent message counts, which is what lets one worker process
+    per rank (``local_rank`` set) run the same protocol as the loopback
+    transport.  Batches apply in canonical ``(src_box, dst_box)`` order
+    on every transport, so destination containers are filled in the
+    exact order a loopback run produces — bit-identical physics.
     """
     n_moved = 0
-    if comm is not None:
-        comm.begin_phase("particles")
-    pending: List[Tuple[int, Species]] = []
+    batches: List[Tuple[int, int, Species]] = []  # (src_box, dst_box, batch)
     for i, sp in enumerate(species_per_box):
+        if (
+            local_rank is not None
+            and rank_of_box is not None
+            and int(rank_of_box[i]) != local_rank
+        ):
+            continue
         if sp.n == 0:
             continue
         owner = _owner_of_positions(sp.positions, domain_lo, dx, box_lookup)
@@ -92,32 +118,40 @@ def redistribute_particles(
         for j in np.unique(owners):
             batch = movers.select(owners == j)
             n_moved += batch.n
-            if comm is not None and rank_of_box is not None:
-                src = rank_of_box[i]
-                dst = rank_of_box[int(j)]
-                if src != dst:
-                    # the received payload IS the batch: the comm path is
-                    # load-bearing, so injected message faults would alter
-                    # the physics unless the resilient transport recovers
-                    comm.send(
-                        src,
-                        dst,
-                        (batch.positions, batch.momenta, batch.weights, batch.ids),
-                        tag="particles",
-                    )
-                    pos, mom, wgt, ids = comm.recv(src, dst, tag="particles")
-                    batch = Species(
-                        batch.name, batch.charge, batch.mass, batch.ndim, batch.dtype
-                    )
-                    batch.positions = np.asarray(pos, dtype=batch.dtype)
-                    batch.momenta = np.asarray(mom, dtype=batch.dtype)
-                    batch.weights = np.asarray(wgt, dtype=batch.dtype)
-                    batch.ids = np.asarray(ids, dtype=np.int64)
-            pending.append((int(j), batch))
-    for j, batch in pending:
+            batches.append((i, int(j), batch))
+    if comm is None or rank_of_box is None:
+        for _i, j, batch in sorted(batches, key=lambda b: (b[0], b[1])):
+            species_per_box[j].extend(batch)
+        return n_moved
+    active = sorted({int(r) for r in rank_of_box})
+    pairs = [(a, b) for a in active for b in active if a != b]
+    per_pair: Dict[Tuple[int, int], List] = {p: [] for p in pairs}
+    pending: List[Tuple[int, int, Species]] = []
+    for i, j, batch in batches:
+        src = int(rank_of_box[i])
+        dst = int(rank_of_box[j])
+        if src == dst:
+            pending.append((i, j, batch))
+        else:
+            # the received payload IS the batch: the comm path is
+            # load-bearing, so injected message faults would alter the
+            # physics unless the resilient transport recovers
+            per_pair[(src, dst)].append(
+                (i, j, (batch.positions, batch.momenta, batch.weights,
+                        batch.ids))
+            )
+    send_pairs = [p for p in pairs if local_rank is None or p[0] == local_rank]
+    recv_pairs = [p for p in pairs if local_rank is None or p[1] == local_rank]
+    comm.begin_phase("particles", n_messages=len(send_pairs))
+    for p in send_pairs:
+        comm.send(p[0], p[1], per_pair[p], tag="particles")
+    for p in recv_pairs:
+        payload = comm.recv(p[0], p[1], tag="particles")
+        for i, j, arrays in payload:
+            pending.append((i, j, _batch_from_arrays(species_per_box[j], arrays)))
+    for _i, j, batch in sorted(pending, key=lambda b: (b[0], b[1])):
         species_per_box[j].extend(batch)
-    if comm is not None:
-        comm.end_phase("particles")
+    comm.end_phase("particles")
     return n_moved
 
 
@@ -128,6 +162,7 @@ def migrate_boxes(
     old_assignment: Sequence[int],
     new_assignment: Sequence[int],
     tag: str = "lb:migrate",
+    local_rank: Optional[int] = None,
 ) -> Tuple[int, int]:
     """Ship the state of every box that changed rank to its new owner.
 
@@ -141,11 +176,22 @@ def migrate_boxes(
     a ``per_box`` list of particle containers (duck-typed to avoid a
     dependency on the distributed driver).  Returns ``(n_messages,
     payload_bytes)``.
+
+    With ``local_rank`` set (SPMD), the move list — derived from the two
+    assignment arrays every rank holds identically — is enumerated in
+    full, but state is packed and sent only for boxes this rank is
+    giving up, and received/applied only for boxes it is taking over.
+    ``payload_bytes`` is counted at the receiver, so per-rank totals sum
+    to the loopback value.
     """
     per_pair: Dict[Tuple[int, int], List] = {}
+    move_pairs: set = set()
     for i, (old, new) in enumerate(zip(old_assignment, new_assignment)):
         old, new = int(old), int(new)
         if old == new:
+            continue
+        move_pairs.add((old, new))
+        if local_rank is not None and old != local_rank:
             continue
         fields = {
             comp: arr.copy() for comp, arr in box_grids[i].fields.items()
@@ -158,12 +204,17 @@ def migrate_boxes(
                 sp.weights.copy(), sp.ids.copy(),
             )
         per_pair.setdefault((old, new), []).append((i, fields, parts))
-    pairs = sorted(per_pair)
-    comm.begin_phase(tag, n_messages=len(pairs))
-    for pair in pairs:
+    send_pairs = sorted(
+        p for p in move_pairs if local_rank is None or p[0] == local_rank
+    )
+    recv_pairs = sorted(
+        p for p in move_pairs if local_rank is None or p[1] == local_rank
+    )
+    comm.begin_phase(tag, n_messages=len(send_pairs))
+    for pair in send_pairs:
         comm.send(pair[0], pair[1], per_pair[pair], tag=tag)
     moved_bytes = 0
-    for pair in pairs:
+    for pair in recv_pairs:
         payload = comm.recv(pair[0], pair[1], tag=tag)
         moved_bytes += payload_nbytes(payload)
         for i, fields, parts in payload:
@@ -176,5 +227,5 @@ def migrate_boxes(
                 sp.weights = np.asarray(wgt, dtype=sp.dtype)
                 sp.ids = np.asarray(ids, dtype=np.int64)
     comm.end_phase(tag)
-    return len(pairs), moved_bytes
+    return len(send_pairs), moved_bytes
 

@@ -221,3 +221,27 @@ def test_distribute_sfc_splits_aliased_centers():
     assert list(order) != [0, 1, 2, 3]
     changes = np.count_nonzero(np.diff(assignment[order]))
     assert changes == 1
+
+
+# -- cross-transport parity (see tests/conftest.py) --------------------------
+
+from tests.conftest import (  # noqa: E402
+    assert_runs_equal,
+    make_skewed_lb_build,
+)
+
+
+def test_dynamic_lb_cross_transport(transport_runner):
+    """The dynamic load balancer is transport-invariant: heuristic costs
+    flow through a real allreduce on the multiprocessing backend, every
+    rank computes the identical rebalanced assignment, and migrated box
+    state matches loopback bit for bit."""
+    from repro.parallel.mp_transport import run_distributed_local
+
+    build = make_skewed_lb_build()
+    want = run_distributed_local(build, 6)
+    assert any(m > 0 for m in want.lb_events)  # scenario sanity: LB fired
+    got = transport_runner(build, 6)
+    assert got.lb_events == want.lb_events
+    assert got.lb_moved_bytes == want.lb_moved_bytes
+    assert_runs_equal(got, want)

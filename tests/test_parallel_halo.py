@@ -286,3 +286,18 @@ def test_halo_bytes_per_box():
     b = Box((0, 0), (8, 8))
     nbytes = halo_bytes_per_box(b, guards=2, n_components=6)
     assert nbytes == (12 * 12 - 8 * 8) * 6 * 8
+
+
+# -- cross-transport parity (see tests/conftest.py) --------------------------
+
+from tests.conftest import assert_runs_equal, make_langmuir_build  # noqa: E402
+
+
+def test_halo_exchange_cross_transport(transport_runner, golden_langmuir):
+    """Fold + guard-fill halo traffic is transport-invariant: the same
+    scenario run with one worker process per rank produces bit-identical
+    fields and the exact same aggregated halo accounting as loopback."""
+    want = golden_langmuir(n_steps=6)
+    got = transport_runner(make_langmuir_build(), 6)
+    assert got.halo == want.halo
+    assert_runs_equal(got, want)
