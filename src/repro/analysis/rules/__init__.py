@@ -12,6 +12,9 @@ PIC003  only ``ReproError`` subclasses may be raised from library code
 PIC004  no direct wall-clock calls outside ``diagnostics.timers``
 PIC005  ``__all__`` must be consistent with the names a package binds
 PIC006  kernel-phase calls in step drivers must run under a timer/span
+PIC007  kernel-phase modules must not hard-code ``float64`` dtypes
+        (silent upcasts of float32 mixed-precision pipelines); DP-by-
+        design sites carry ``# repro: allow(PIC007)``
 ======  ==================================================================
 
 The static schedule rules (COMM006-COMM010) live in
@@ -25,5 +28,8 @@ from repro.analysis.rules import hotloop
 from repro.analysis.rules import raises
 from repro.analysis.rules import spans
 from repro.analysis.rules import timing
+from repro.analysis.rules import upcast
 
-__all__ = ["dtype", "exports", "hotloop", "raises", "spans", "timing"]
+__all__ = [
+    "dtype", "exports", "hotloop", "raises", "spans", "timing", "upcast",
+]

@@ -1,0 +1,121 @@
+"""PIC007: no hard-coded float64 dtypes in kernel-phase code.
+
+The mixed-precision mode (the paper's Table III "MP" rows) stores
+fields in float32 and keeps particle quantities double.  That policy
+dies silently when kernel-phase code pins an allocation to
+``np.float64``: the float32 pipeline promotes on first contact, every
+downstream product becomes a full-grid double temporary, and the
+memory-bandwidth win the mode exists for evaporates — with bit-exact
+results, so nothing ever fails.
+
+This rule flags allocator/conversion calls (``zeros``, ``empty``,
+``ones``, ``full``, ``arange``, ``linspace``, ``array``, ``asarray``,
+``ascontiguousarray``) whose dtype is literally ``np.float64``,
+``np.double``, ``"float64"``, ``"f8"`` or builtin ``float`` — in the
+kernel-phase modules only.  Precision there must be *derived* (from
+``grid.dtype``, a field array, or a dtype parameter), not asserted.
+
+Deliberately-double sites are real and common — shape weights, gather
+accumulators and geometry stay DP *by design* under the mixed-precision
+policy — and carry a ``# repro: allow(PIC007)`` pragma, turning every
+intentional float64 into documentation instead of a hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.dataflow import build_module_env
+from repro.analysis.findings import Finding
+from repro.analysis.linter import LintContext, LintRule, register
+
+#: modules on the field/kernel hot path where float64 must be a choice,
+#: not a default (cf. HOT_MODULE_BASENAMES of PIC001, plus the field
+#: containers and solvers the deposits/gathers read and write)
+KERNEL_PHASE_BASENAMES = (
+    "gather.py",
+    "deposit.py",
+    "shapes.py",
+    "kernels.py",
+    "compiled.py",
+    "stencils.py",
+    "maxwell.py",
+    "psatd.py",
+    "pml.py",
+    "boundary.py",
+    "interpolation.py",
+    "yee.py",
+)
+
+#: numpy callables taking a dtype; positional dtype sits at index 1 for
+#: the shape/array-first subset, keyword ``dtype=`` works for all
+DTYPE_CALLS = (
+    "zeros", "empty", "ones", "full", "arange", "linspace",
+    "array", "asarray", "ascontiguousarray",
+)
+_POSITIONAL_DTYPE_AT_1 = (
+    "zeros", "empty", "ones", "array", "asarray", "ascontiguousarray",
+)
+
+_F64_STRINGS = ("float64", "f8", "d", "double")
+_F64_ATTRS = ("float64", "double", "float_")
+
+
+def _is_hardcoded_float64(expr: ast.expr, numpy_aliases) -> bool:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in numpy_aliases
+        and expr.attr in _F64_ATTRS
+    ):
+        return True
+    if isinstance(expr, ast.Constant) and expr.value in _F64_STRINGS:
+        return True
+    # builtin float *is* IEEE double as a numpy dtype
+    if isinstance(expr, ast.Name) and expr.id == "float":
+        return True
+    return False
+
+
+@register
+class SilentUpcastRule(LintRule):
+    rule_id = "PIC007"
+    description = (
+        "kernel-phase code must not hard-code float64 dtypes; derive the "
+        "precision from the grid/field or pragma a DP-by-design site"
+    )
+
+    def check_module(self, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.basename not in KERNEL_PHASE_BASENAMES:
+            return
+        env = build_module_env(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in DTYPE_CALLS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in env.numpy_aliases
+            ):
+                continue
+            dtype_expr: Optional[ast.expr] = None
+            if func.attr in _POSITIONAL_DTYPE_AT_1 and len(node.args) >= 2:
+                dtype_expr = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "dtype":
+                    dtype_expr = kw.value
+            if dtype_expr is not None and _is_hardcoded_float64(
+                dtype_expr, env.numpy_aliases
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"np.{func.attr} pins dtype=float64 in kernel-phase "
+                    "code — a float32 field pipeline silently upcasts "
+                    "here; derive the dtype (grid.dtype, arr.dtype, a "
+                    "parameter) or mark the site DP-by-design with "
+                    "# repro: allow(PIC007)",
+                )

@@ -37,7 +37,7 @@ from repro.core.moving_window import MovingWindow
 from repro.observability.tracer import NULL_TRACER, phase_span
 from repro.laser.antenna import LaserAntenna
 from repro.particles.injection import DensityProfile, inject_plasma
-from repro.particles.kernels import get_kernel_set
+from repro.particles.kernels import resolve_kernel_set
 from repro.particles.pusher import lorentz_factor, push_boris, push_positions, push_vay
 from repro.particles.shapes import required_guards
 from repro.particles.sorting import sort_species_by_bin
@@ -103,9 +103,21 @@ class Simulation:
     kernels:
         Gather/deposit kernel variant from :mod:`repro.particles.kernels`
         (``"vectorized"`` default, ``"tiled"`` for the sort-aware fast
-        path, ``"reference"`` for the scalar baseline).  All variants
-        compute identical physics; the active name is recorded on the
-        gather/deposit tracer spans.
+        path, ``"compiled"`` for the native numba/C tier, ``"reference"``
+        for the scalar baseline).  All variants compute identical
+        physics; the active name is recorded on the gather/deposit
+        tracer spans.  Requesting a tier whose backend is unavailable on
+        this machine (e.g. ``"compiled"`` without numba or a C compiler)
+        falls back to ``"tiled"``; ``self.kernels`` always names the
+        variant actually running and ``self.kernel_fallback_reason``
+        says why, if a fallback happened.
+    precision:
+        ``"float64"`` (default) or ``"mixed"`` (alias ``"float32"``):
+        the paper's MP mode — field storage, deposition and the Maxwell
+        solve in single precision, particle quantities, shape weights
+        and geometry in double.  The grid's field arrays are converted
+        in place; the per-kernel error budget is documented and asserted
+        by ``validate_kernel_set(..., precision="float32")``.
     boundaries:
         Per-axis boundary family from ``("periodic", "pml", "damped",
         "open")``; a single string applies to every axis.
@@ -136,8 +148,24 @@ class Simulation:
         timers: Optional[Timers] = None,
         maxwell_solver: str = "yee",
         tracer=None,
+        precision: Optional[str] = None,
     ) -> None:
         self.grid = grid
+        if precision is not None:
+            if precision in ("mixed", "float32"):
+                # convert before any solver captures grid.dtype
+                grid.set_precision(np.float32)
+            elif precision == "float64":
+                grid.set_precision(np.float64)
+            else:
+                raise ConfigurationError(
+                    f"unknown precision {precision!r}; expected float64, "
+                    "mixed or float32"
+                )
+        #: the active field-precision policy ("mixed" = float32 fields +
+        #: float64 particle ops); None in the constructor inherits the
+        #: grid's dtype as built
+        self.precision = "mixed" if grid.dtype == np.float32 else "float64"
         self.dt = float(dt) if dt is not None else cfl_dt(grid.dx, cfl)
         self.shape_order = int(shape_order)
         if grid.guards < required_guards(self.shape_order) + 1:
@@ -151,9 +179,13 @@ class Simulation:
         if deposition not in ("esirkepov", "direct"):
             raise ConfigurationError(f"unknown deposition {deposition!r}")
         self.deposition = deposition
-        #: gather/deposit kernel variant (resolved against the registry)
-        self.kernels = kernels
-        self.kernel_set = get_kernel_set(kernels)
+        #: gather/deposit kernel variant, resolved against the registry;
+        #: a requested-but-unavailable tier (e.g. "compiled" with no
+        #: backend) degrades to the tiled fast path and records why
+        self.kernel_set, self.kernel_fallback_reason = resolve_kernel_set(
+            kernels
+        )
+        self.kernels = self.kernel_set.name
         if isinstance(boundaries, str):
             boundaries = (boundaries,) * grid.ndim
         if len(boundaries) != grid.ndim:
@@ -336,6 +368,10 @@ class Simulation:
                 continue
             with self._phase("gather", species=sp.name, kernel=self.kernels):
                 e_f, b_f = self._gather(sp)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "kernel.dispatch", variant=self.kernels, phase="gather"
+                ).add(1)
             with self._phase("push", species=sp.name):
                 sp.momenta = self._push_momenta(
                     sp.momenta, e_f, b_f, sp.charge, sp.mass, self.dt
@@ -345,6 +381,10 @@ class Simulation:
             with self._phase("deposit", species=sp.name, kernel=self.kernels):
                 vel = sp.momenta * (c / lorentz_factor(sp.momenta))[:, None]
                 self._deposit(sp, x_old, sp.positions, vel)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "kernel.dispatch", variant=self.kernels, phase="deposit"
+                ).add(1)
 
         with self._phase("finalize_deposits"):
             self._finalize_deposits()

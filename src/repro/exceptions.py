@@ -53,6 +53,17 @@ class AnalysisError(ReproError):
     """The static-analysis driver itself was misused (bad path, bad rule id)."""
 
 
+class PrecisionError(ReproError):
+    """A mixed-precision kernel exceeded its documented error budget.
+
+    Raised by :func:`repro.particles.kernels.validate_kernel_set` when a
+    float32 kernel variant deviates from the float64 reference by more
+    than :data:`repro.particles.kernels.FLOAT32_ERROR_BUDGET` allows —
+    the contract that lets a run opt into single-precision fields
+    without silently changing physics.
+    """
+
+
 class ObservabilityError(ReproError):
     """The tracing/metrics subsystem was misused or fed a malformed trace.
 

@@ -157,7 +157,7 @@ def damping_profile(n_layer: int, strength: float = 0.02, power: int = 2) -> np.
     ``k`` counted from the outer edge inward; applied every step this gives
     a smooth exponential decay of outgoing waves.
     """
-    k = np.arange(n_layer, dtype=np.float64)
+    k = np.arange(n_layer, dtype=np.float64)  # repro: allow(PIC007)
     depth = (n_layer - k) / n_layer
     return 1.0 - strength * depth**power
 

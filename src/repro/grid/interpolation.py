@@ -49,7 +49,7 @@ def prolong(
     out = arr
     for d in range(arr.ndim):
         s = stagger[d]
-        k = np.arange(fine_shape[d], dtype=np.float64)
+        k = np.arange(fine_shape[d], dtype=np.float64)  # repro: allow(PIC007)
         pos = (k + 0.5 * s) / ratio - 0.5 * s
         out = _interp_axis(out, d, pos)
     return out

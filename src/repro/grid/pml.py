@@ -47,7 +47,8 @@ def pml_sigma_profile(
     g = grid.guards
     n = grid.n_cells[axis]
     dx = grid.dx[axis]
-    idx = np.arange(grid.shape[axis], dtype=np.float64)
+    # conductivity tables are DP by design  # repro: allow(PIC007)
+    idx = np.arange(grid.shape[axis], dtype=np.float64)  # repro: allow(PIC007)
     pos = idx - g + 0.5 * stagger  # in cell units; valid region is [0, n]
     depth = np.zeros_like(pos)
     if sides in ("both", "low"):
@@ -129,7 +130,7 @@ class PMLMaxwellSolver:
                         grid, axis, STAGGER[comp][axis], self.n_pml, order, r0, sides
                     )
                 else:
-                    sig1d = np.zeros(grid.shape[axis], dtype=np.float64)
+                    sig1d = np.zeros(grid.shape[axis], dtype=np.float64)  # repro: allow(PIC007)
                 shape = [1] * grid.ndim
                 shape[axis] = grid.shape[axis]
                 self._sigma[key] = sig1d.reshape(shape)

@@ -50,6 +50,14 @@ class PSATDMaxwellSolver:
             raise ConfigurationError("PSATD needs at least one axis")
         self.grid = grid
         self.dt = float(dt)
+        # explicit precision policy: coefficient tables are *built* in
+        # double (cos/sin of c k dt must not lose digits at table-build
+        # time) and then *stored* in the grid's real dtype, so that on a
+        # float32 grid the whole spectral pipeline — FFTs, phase factors,
+        # update coefficients — runs in complex64 instead of silently
+        # promoting every full-grid product to complex128
+        self.rdtype = grid.dtype
+        self.cdtype = np.result_type(self.rdtype, np.complex64)
         n = grid.n_cells
         # angular wavenumbers of the unique (length-n) periodic samples
         ks = [
@@ -84,7 +92,13 @@ class PSATDMaxwellSolver:
             phase = np.zeros_like(self.k_mag)
             for d in range(grid.ndim):
                 phase = phase + self.kvec[d] * (0.5 * s[d] * grid.dx[d])
-            self._phase[comp] = np.exp(-1j * phase)
+            self._phase[comp] = np.exp(-1j * phase).astype(self.cdtype)
+        # demote the double-built tables to the working precision
+        self.k_mag = self.k_mag.astype(self.rdtype)
+        self.k_hat = [k.astype(self.rdtype) for k in self.k_hat]
+        self.cos = self.cos.astype(self.rdtype)
+        self.sin = self.sin.astype(self.rdtype)
+        self.j_coeff = self.j_coeff.astype(self.rdtype)
 
     # -- real <-> spectral ---------------------------------------------------
     def _unique_slices(self, component: str) -> Tuple[slice, ...]:
@@ -94,7 +108,10 @@ class PSATDMaxwellSolver:
 
     def _to_spectral(self, component: str) -> np.ndarray:
         arr = self.grid.fields[component][self._unique_slices(component)]
-        return np.fft.fftn(arr) * self._phase[component]
+        # fftn(float32) already yields complex64; the astype is a no-op
+        # there and only guards against a caller handing in mixed dtypes
+        spec = np.fft.fftn(arr).astype(self.cdtype, copy=False)
+        return spec * self._phase[component]
 
     def _from_spectral(self, component: str, spec: np.ndarray) -> None:
         arr = np.fft.ifftn(spec / self._phase[component]).real

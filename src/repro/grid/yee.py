@@ -113,11 +113,39 @@ class YeeGrid:
         return self.fields[component][self.valid_slices(component)]
 
     def axis_coords(self, axis: int, component: str = "rho") -> np.ndarray:
-        """Physical coordinates of the valid points of ``component`` on ``axis``."""
+        """Physical coordinates of the valid points of ``component`` on ``axis``.
+
+        Always double precision: geometry (positions, cell edges) stays
+        in float64 regardless of the field dtype — the mixed-precision
+        policy lowers field *storage*, never coordinates, so float32
+        grids see the exact same sample points as float64 grids.
+        """
         stag = STAGGER[component][axis]
         n = self.n_cells[axis]
-        idx = np.arange(n + 1 - stag, dtype=self.dtype)
+        idx = np.arange(n + 1 - stag, dtype=np.float64)  # repro: allow(PIC007)
         return self.lo[axis] + (idx + 0.5 * stag) * self.dx[axis]
+
+    def set_precision(self, dtype) -> None:
+        """Convert every field array to ``dtype`` in place.
+
+        The entry point of the mixed-precision policy
+        (``Simulation(..., precision="mixed")``): field *storage* drops
+        to float32 while geometry (``lo``/``hi``/``dx``,
+        :meth:`axis_coords`) and all particle quantities stay double.
+        Solvers capture ``grid.dtype`` at construction, so convert
+        before building a :class:`Simulation` — or let the simulation
+        do it, which converts first.
+        """
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise ConfigurationError(
+                f"field dtype must be floating point, got {dtype}"
+            )
+        if dtype == self.dtype:
+            return
+        self.dtype = dtype
+        for name, arr in self.fields.items():
+            self.fields[name] = arr.astype(dtype)
 
     def zero_sources(self) -> None:
         """Reset the deposited current and charge density to zero."""

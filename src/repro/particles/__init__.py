@@ -26,10 +26,14 @@ from repro.particles.deposit import (
     deposit_current_reference,
 )
 from repro.particles.kernels import (
+    FLOAT32_ERROR_BUDGET,
     KernelSet,
     available_kernel_variants,
     get_kernel_set,
+    kernel_tier_status,
+    mark_tier_unavailable,
     register_kernel_set,
+    resolve_kernel_set,
     validate_kernel_set,
 )
 from repro.particles.sorting import morton_bin_particles, sort_species_by_bin
@@ -65,10 +69,14 @@ __all__ = [
     "deposit_charge",
     "deposit_charge_tiled",
     "deposit_current_reference",
+    "FLOAT32_ERROR_BUDGET",
     "KernelSet",
     "available_kernel_variants",
     "get_kernel_set",
+    "kernel_tier_status",
+    "mark_tier_unavailable",
     "register_kernel_set",
+    "resolve_kernel_set",
     "validate_kernel_set",
     "morton_bin_particles",
     "sort_species_by_bin",

@@ -52,7 +52,7 @@ def lattice_coords(
     )
 
 
-def _stencil_accumulate(
+def _stencil_accumulate(  # repro: allow(PIC007)
     flat: np.ndarray,
     strides: Sequence[int],
     idx0: Sequence[np.ndarray],
@@ -95,7 +95,7 @@ def _gather_component(
     return _stencil_accumulate(arr.ravel(), strides, idx0, wts, order)
 
 
-def gather_fields(
+def gather_fields(  # repro: allow(PIC007)
     grid: YeeGrid, positions: np.ndarray, order: int = 1
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Interpolate (E, B) to particle positions.
@@ -116,7 +116,7 @@ def gather_fields(
     return e_out, b_out
 
 
-def gather_fields_tiled(
+def gather_fields_tiled(  # repro: allow(PIC007)
     grid: YeeGrid, positions: np.ndarray, order: int = 1
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Fast-path (E, B) gather sharing shape weights across components.
@@ -159,7 +159,7 @@ def gather_fields_tiled(
     return e_out, b_out
 
 
-def gather_fields_reference(  # repro: allow(PIC001)
+def gather_fields_reference(  # repro: allow(PIC001, PIC007)
     grid: YeeGrid, positions: np.ndarray, order: int = 1
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Scalar per-particle gather (baseline of the Sec. V.A.1 experiment).

@@ -15,28 +15,39 @@ variant  implementation
                 kernels, which only diagnostics exercise
 ``vectorized``  NumPy-vectorized over particles, scatters through the
                 unbuffered ``np.add.at``
-``tiled``       the fast path: sort-aware segmented-reduction scatters
-                (``np.add.reduceat`` over per-tile contiguous runs +
-                one ``np.bincount`` histogram pass) and a shape-weight
-                cache shared across the six gather components
+``tiled``       the numpy fast path: sort-aware segmented-reduction
+                scatters (``np.add.reduceat`` over per-tile contiguous
+                runs + one ``np.bincount`` histogram pass) and a
+                shape-weight cache shared across the six gathers
+``compiled``    native per-particle loops — numba ``@njit`` when
+                importable, generated C via ctypes when a compiler is
+                present (:mod:`repro.particles.compiled`).  Registered
+                only when a backend builds; otherwise the registry
+                reports *why* (:func:`kernel_tier_status`) and
+                :func:`resolve_kernel_set` falls back to ``tiled``
 ======  ==================================================================
 
 Every variant computes the same physics; :func:`validate_kernel_set`
 cross-checks any variant against ``vectorized`` on a randomized workload
 and returns the worst relative deviation per kernel (tests pin it at
-machine precision).  The active variant name is surfaced as a ``kernel``
-attribute on the gather/deposit tracer spans, so the observability layer
-shows which implementation ran.
+machine precision).  All variants are dtype-generic: on a float32 grid
+the field reads and deposition accumulate in single precision while
+particle quantities and shape weights stay double (the paper's "MP
+mode"), and ``validate_kernel_set(..., precision="float32")`` asserts
+the resulting error stays inside :data:`FLOAT32_ERROR_BUDGET`.  The
+active variant name is surfaced as a ``kernel`` attribute on the
+gather/deposit tracer spans, so the observability layer shows which
+implementation ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PrecisionError
 from repro.grid.yee import YeeGrid
 from repro.particles.deposit import (
     deposit_charge,
@@ -61,7 +72,9 @@ class KernelSet:
     ``gather`` maps ``(grid, positions, order) -> (E, B)``; the deposits
     share the signatures of their :mod:`repro.particles.deposit`
     namesakes.  ``sort_aware`` marks variants whose scatter gets faster
-    when the species is kept in Morton-bin order (``sort_interval``).
+    when the species is kept in Morton-bin order (``sort_interval``);
+    ``backend`` names what executes the inner loops (``numpy``,
+    ``numba``, ``c``).
     """
 
     name: str
@@ -70,19 +83,73 @@ class KernelSet:
     deposit_current: Callable[..., None]
     deposit_current_direct: Callable[..., None]
     sort_aware: bool = False
+    backend: str = "numpy"
 
 
 _REGISTRY: Dict[str, KernelSet] = {}
 
+#: tiers that probed for a backend and found none: name -> human reason
+_UNAVAILABLE: Dict[str, str] = {}
 
-def register_kernel_set(kernel_set: KernelSet) -> KernelSet:
-    """Add a variant to the registry (duplicate names are an error)."""
-    if kernel_set.name in _REGISTRY:
+#: the variant :func:`resolve_kernel_set` falls back to when a known
+#: tier is unavailable on this machine
+FALLBACK_VARIANT = "tiled"
+
+_KERNEL_FIELDS = (
+    "gather", "deposit_charge", "deposit_current", "deposit_current_direct",
+)
+
+
+def register_kernel_set(*kernel_sets: KernelSet) -> Tuple[KernelSet, ...]:
+    """Add variants to the registry, atomically.
+
+    The whole batch is validated first — duplicate names (within the
+    batch or against already-registered variants), empty names, and
+    non-callable kernel slots all raise :class:`ConfigurationError` —
+    and only then installed, so a failed registration leaves the
+    registry and dispatch exactly as they were.  Registering a tier that
+    was previously marked unavailable clears its unavailability record.
+    """
+    staged: Dict[str, KernelSet] = {}
+    for kernel_set in kernel_sets:
+        if not isinstance(kernel_set, KernelSet):
+            raise ConfigurationError(
+                f"register_kernel_set expects KernelSet instances, "
+                f"got {type(kernel_set).__name__}"
+            )
+        name = kernel_set.name
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"kernel variant name must be a non-empty string, got {name!r}"
+            )
+        if name in _REGISTRY or name in staged:
+            raise ConfigurationError(f"duplicate kernel variant {name!r}")
+        for field in _KERNEL_FIELDS:
+            if not callable(getattr(kernel_set, field)):
+                raise ConfigurationError(
+                    f"kernel variant {name!r} field {field!r} is not callable"
+                )
+        staged[name] = kernel_set
+    # validation done; installation cannot fail partway
+    _REGISTRY.update(staged)
+    for name in staged:
+        _UNAVAILABLE.pop(name, None)
+    return kernel_sets
+
+
+def mark_tier_unavailable(name: str, reason: str) -> None:
+    """Record that a known tier could not be built on this machine.
+
+    The tier stays out of :func:`available_kernel_variants`, but
+    :func:`kernel_tier_status` surfaces the reason and
+    :func:`resolve_kernel_set` maps the name to ``tiled`` instead of
+    raising.
+    """
+    if name in _REGISTRY:
         raise ConfigurationError(
-            f"duplicate kernel variant {kernel_set.name!r}"
+            f"kernel variant {name!r} is registered; cannot mark unavailable"
         )
-    _REGISTRY[kernel_set.name] = kernel_set
-    return kernel_set
+    _UNAVAILABLE[name] = str(reason)
 
 
 def get_kernel_set(name: str) -> KernelSet:
@@ -96,9 +163,44 @@ def get_kernel_set(name: str) -> KernelSet:
         ) from None
 
 
+def resolve_kernel_set(name: str) -> Tuple[KernelSet, Optional[str]]:
+    """Resolve a variant name, falling back when the tier is unavailable.
+
+    Returns ``(kernel_set, fallback_reason)``: ``(set, None)`` for a
+    registered name; ``(tiled, reason)`` for a tier that probed for a
+    backend and found none (e.g. ``compiled`` without numba or a C
+    compiler).  Unknown names still raise :class:`ConfigurationError` —
+    only *known-but-unbuildable* tiers degrade gracefully.
+    """
+    kernel_set = _REGISTRY.get(name)
+    if kernel_set is not None:
+        return kernel_set, None
+    reason = _UNAVAILABLE.get(name)
+    if reason is not None:
+        return get_kernel_set(FALLBACK_VARIANT), reason
+    raise ConfigurationError(
+        f"unknown kernel variant {name!r}; "
+        f"available: {available_kernel_variants()}"
+    )
+
+
 def available_kernel_variants() -> Tuple[str, ...]:
     """The registered variant names, registration-ordered."""
     return tuple(_REGISTRY)
+
+
+def kernel_tier_status() -> Dict[str, str]:
+    """Every known tier and its availability on this machine.
+
+    Registered variants report ``"available (<backend>)"``; tiers whose
+    backend probe failed report the reason (e.g. ``"numba not
+    importable; no C compiler (cc/gcc/clang) on PATH"``).
+    """
+    status = {
+        name: f"available ({ks.backend})" for name, ks in _REGISTRY.items()
+    }
+    status.update(_UNAVAILABLE)
+    return status
 
 
 register_kernel_set(
@@ -108,18 +210,14 @@ register_kernel_set(
         deposit_charge=deposit_charge,
         deposit_current=deposit_current_reference,
         deposit_current_direct=deposit_current_direct,
-    )
-)
-register_kernel_set(
+    ),
     KernelSet(
         name="vectorized",
         gather=gather_fields,
         deposit_charge=deposit_charge,
         deposit_current=deposit_current_esirkepov,
         deposit_current_direct=deposit_current_direct,
-    )
-)
-register_kernel_set(
+    ),
     KernelSet(
         name="tiled",
         gather=gather_fields_tiled,
@@ -127,8 +225,31 @@ register_kernel_set(
         deposit_current=deposit_current_esirkepov_tiled,
         deposit_current_direct=deposit_current_direct_tiled,
         sort_aware=True,
-    )
+    ),
 )
+
+
+#: documented float32 error budget: worst allowed relative L2 deviation
+#: of each kernel on a float32 grid vs the float64 vectorized reference
+#: (the :func:`validate_kernel_set` workload).  Values are ~30x the
+#: measured deviation — loose enough to be platform-stable, tight
+#: enough that an accidental single-precision *intermediate* (which
+#: costs several digits, not a fraction of one) trips them.
+FLOAT32_ERROR_BUDGET: Dict[str, float] = {
+    "gather": 2.0e-6,
+    "deposit_charge": 2.0e-6,
+    "deposit_current": 4.0e-6,
+    "deposit_current_direct": 2.0e-6,
+}
+
+
+def _rel_l2(a: np.ndarray, b: np.ndarray) -> float:  # repro: allow(PIC007)
+    """Relative L2 deviation ``||a - b|| / ||b||`` (0 if b is zero)."""
+    scale = float(np.linalg.norm(np.asarray(b, dtype=np.float64)))
+    if scale == 0.0:
+        return float(np.linalg.norm(np.asarray(a, dtype=np.float64)))
+    diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    return float(np.linalg.norm(diff)) / scale
 
 
 def validate_kernel_set(
@@ -137,29 +258,49 @@ def validate_kernel_set(
     order: int = 2,
     n_particles: int = 200,
     seed: int = 0,
+    precision: str = "float64",
 ) -> Dict[str, float]:
     """Cross-validate one variant against ``vectorized`` numerically.
 
     Runs gather, charge, Esirkepov and direct deposits of both variants
-    on an identical randomized workload and returns the worst absolute
-    deviation per kernel, normalized by the result's own scale.  The test
-    suite pins every entry at machine precision, the contract that lets a
-    run switch variants without changing physics.
+    on an identical randomized workload.  With ``precision="float64"``
+    (the default) both run in double and the returned dict holds the
+    worst relative deviation per kernel — the test suite pins every
+    entry at machine precision, the contract that lets a run switch
+    variants without changing physics.
+
+    With ``precision="float32"`` (alias ``"mixed"``) the candidate runs
+    on a float32 grid while the baseline stays float64, the deviations
+    are relative L2 norms, and any kernel exceeding its
+    :data:`FLOAT32_ERROR_BUDGET` entry raises
+    :class:`~repro.exceptions.PrecisionError` — the documented
+    mixed-precision error budget, asserted.
     """
+    if precision in ("float32", "mixed"):
+        mixed = True
+    elif precision == "float64":
+        mixed = False
+    else:
+        raise ConfigurationError(
+            f"unknown precision {precision!r}; expected float64, float32 "
+            "or mixed"
+        )
     candidate = get_kernel_set(name)
     baseline = get_kernel_set("vectorized")
     rng = np.random.default_rng(seed)
     n_cells = 12
     guards = 5
+    cand_dtype = np.float32 if mixed else np.float64
     grid_c = YeeGrid(
-        (n_cells,) * ndim, (0.0,) * ndim, (float(n_cells),) * ndim, guards=guards
+        (n_cells,) * ndim, (0.0,) * ndim, (float(n_cells),) * ndim,
+        guards=guards, dtype=cand_dtype,
     )
     grid_b = YeeGrid(
         (n_cells,) * ndim, (0.0,) * ndim, (float(n_cells),) * ndim, guards=guards
     )
     for comp in ("Ex", "Ey", "Ez", "Bx", "By", "Bz"):
         vals = rng.normal(size=grid_c.shape)
-        grid_c.fields[comp][...] = vals
+        grid_c.fields[comp][...] = vals.astype(cand_dtype)
         grid_b.fields[comp][...] = vals
     pos0 = rng.uniform(2.0, float(n_cells) - 2.0, size=(n_particles, ndim))
     pos1 = pos0 + rng.uniform(-0.9, 0.9, size=(n_particles, ndim))
@@ -168,6 +309,8 @@ def validate_kernel_set(
     charge, dt = -1.0e-19, 1.0e-9
 
     def _rel(a: np.ndarray, b: np.ndarray) -> float:
+        if mixed:
+            return _rel_l2(a, b)
         scale = float(np.max(np.abs(b))) or 1.0
         return float(np.max(np.abs(a - b))) / scale
 
@@ -195,4 +338,20 @@ def validate_kernel_set(
     for comp in ("Jx", "Jy", "Jz"):
         err = max(err, _rel(grid_c.fields[comp], grid_b.fields[comp]))
     errors["deposit_current_direct"] = err
+
+    if mixed:
+        for kernel, budget in FLOAT32_ERROR_BUDGET.items():
+            if errors[kernel] > budget:
+                raise PrecisionError(
+                    f"float32 {name!r} kernel {kernel!r} relative L2 error "
+                    f"{errors[kernel]:.3e} exceeds the documented budget "
+                    f"{budget:.1e}"
+                )
     return errors
+
+
+# the compiled tier registers itself (or records why it could not) at
+# import; kept at the tail so the registry above exists first
+from repro.particles.compiled import install_compiled_tier  # noqa: E402
+
+install_compiled_tier()

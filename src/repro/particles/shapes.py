@@ -32,7 +32,7 @@ def required_guards(order: int) -> int:
     return (order + 3) // 2
 
 
-def bspline(order: int, s: np.ndarray) -> np.ndarray:
+def bspline(order: int, s: np.ndarray) -> np.ndarray:  # repro: allow(PIC007)
     """Centered B-spline ``B_o(s)`` evaluated elementwise.
 
     ``B_o`` has support ``|s| <= (order+1)/2``, unit integral, and satisfies
@@ -52,7 +52,7 @@ def bspline(order: int, s: np.ndarray) -> np.ndarray:
     raise ConfigurationError(f"unsupported shape order {order}")
 
 
-def shape_weights(x: np.ndarray, order: int) -> Tuple[np.ndarray, np.ndarray]:
+def shape_weights(x: np.ndarray, order: int) -> Tuple[np.ndarray, np.ndarray]:  # repro: allow(PIC007)
     """Stencil base indices and weights for particles at lattice coords ``x``.
 
     Parameters

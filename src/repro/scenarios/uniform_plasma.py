@@ -28,10 +28,13 @@ def build_uniform_plasma(
     smoothing_passes: int = 0,
     sort_interval: int = 0,
     seed: int = 0,
+    **sim_kwargs,
 ) -> Tuple[Simulation, Species]:
     """A periodic uniform electron plasma sized in plasma wavelengths.
 
-    Returns the configured simulation and its electron species.
+    Returns the configured simulation and its electron species.  Extra
+    keyword arguments (``kernels=``, ``precision=``, ...) pass through to
+    :class:`~repro.core.simulation.Simulation`.
     """
     ndim = len(n_cells)
     length = plasma_wavelength(density) * domain_plasma_wavelengths
@@ -44,6 +47,7 @@ def build_uniform_plasma(
         boundaries="periodic",
         smoothing_passes=smoothing_passes,
         sort_interval=sort_interval,
+        **sim_kwargs,
     )
     electrons = Species("electrons", charge=-q_e, mass=m_e, ndim=ndim)
     sim.add_species(

@@ -364,6 +364,87 @@ def test_pic006_clean_on_real_drivers():
         assert lint_paths([path], select=["PIC006"]) == []
 
 
+# -- PIC007: hard-coded float64 in kernel-phase code --------------------------
+
+def test_pic007_flags_dtype_keyword_and_positional(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "deposit.py",
+        "import numpy as np\n"
+        "def kernel(grid):\n"
+        "    a = np.zeros(4, dtype=np.float64)\n"
+        "    b = np.empty((3, 3), np.double)\n"
+        "    c = np.arange(5, dtype='float64')\n"
+        "    d = np.asarray(grid, float)\n",
+        select=["PIC007"],
+    )
+    assert rule_ids(findings) == ["PIC007"] * 4
+    assert [f.line for f in findings] == [3, 4, 5, 6]
+
+
+def test_pic007_allows_derived_dtypes(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "gather.py",
+        "import numpy as np\n"
+        "def kernel(grid, arr):\n"
+        "    a = np.zeros(grid.shape, dtype=grid.dtype)\n"
+        "    b = np.empty_like(arr)\n"
+        "    c = np.zeros(4, dtype=np.float32)\n"
+        "    d = np.arange(5)\n",
+        select=["PIC007"],
+    )
+    assert findings == []
+
+
+def test_pic007_scoped_to_kernel_phase_modules(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "diagnostics.py",
+        "import numpy as np\n"
+        "def moments():\n"
+        "    return np.zeros(4, dtype=np.float64)\n",
+        select=["PIC007"],
+    )
+    assert findings == []
+
+
+def test_pic007_tracks_numpy_alias(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "shapes.py",
+        "import numpy\n"
+        "def weights():\n"
+        "    return numpy.ones(3, dtype=numpy.float64)\n",
+        select=["PIC007"],
+    )
+    assert rule_ids(findings) == ["PIC007"]
+
+
+def test_pic007_pragma_documents_dp_by_design(tmp_path):
+    findings = lint_snippet(
+        tmp_path,
+        "yee.py",
+        "import numpy as np\n"
+        "def coords(n):  # repro: allow(PIC007)\n"
+        "    return np.arange(n, dtype=np.float64)\n"
+        "def other(n):\n"
+        "    return np.arange(n, dtype=np.float64)"
+        "  # repro: allow(PIC007)\n",
+        select=["PIC007"],
+    )
+    assert findings == []
+
+
+def test_pic007_clean_on_real_kernel_phase_modules():
+    for rel in ("particles/gather.py", "particles/deposit.py",
+                "particles/shapes.py", "particles/kernels.py",
+                "particles/compiled.py", "grid/yee.py", "grid/psatd.py",
+                "grid/pml.py", "grid/maxwell.py", "grid/stencils.py"):
+        path = os.path.join(SRC_REPRO, rel)
+        assert lint_paths([path], select=["PIC007"]) == [], rel
+
+
 # -- driver / pragmas / CLI --------------------------------------------------
 
 def test_collect_pragmas_parses_rule_lists():

@@ -1,0 +1,390 @@
+"""Compiled kernel tier: python-twin equivalence against the numpy
+kernels, native-backend validation when a backend is live, the
+environment/backend selection logic, graceful registry fallback when no
+backend is usable, atomicity of batch registration, wide-window and
+guard-shortage handling, and the per-tier dispatch counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import Simulation
+from repro.exceptions import ConfigurationError
+from repro.grid.yee import YeeGrid
+from repro.observability import attach_observability
+from repro.particles import compiled
+from repro.particles import kernels
+from repro.particles.compiled import (
+    BACKEND_ENV,
+    KMAX,
+    PythonBackend,
+    build_c_backend,
+    build_kernel_tier,
+    build_numba_backend,
+    c_source,
+    find_c_compiler,
+    install_compiled_tier,
+    make_compiled_kernel_set,
+)
+from repro.particles.deposit import (
+    deposit_charge,
+    deposit_current_esirkepov_tiled,
+)
+from repro.particles.gather import gather_fields
+from repro.particles.injection import UniformProfile
+from repro.particles.kernels import (
+    FALLBACK_VARIANT,
+    KernelSet,
+    available_kernel_variants,
+    get_kernel_set,
+    kernel_tier_status,
+    mark_tier_unavailable,
+    register_kernel_set,
+    resolve_kernel_set,
+    validate_kernel_set,
+)
+from repro.particles.species import Species
+
+
+def make_grid(ndim, n=8, guards=5, dtype=np.float64):
+    grid = YeeGrid((n,) * ndim, (0.0,) * ndim, (float(n),) * ndim,
+                   guards=guards)
+    if dtype is not np.float64:
+        grid.set_precision(dtype)
+    return grid
+
+
+def seed_fields(grid, seed=0):
+    rng = np.random.default_rng(seed)
+    for comp in ("Ex", "Ey", "Ez", "Bx", "By", "Bz"):
+        vals = rng.standard_normal(grid.shape)
+        grid.fields[comp][...] = vals.astype(grid.dtype)
+
+
+def particle_cloud(grid, n=60, seed=1, spread=0.25):
+    rng = np.random.default_rng(seed)
+    lo = np.asarray(grid.lo) + 2.0
+    hi = np.asarray(grid.hi) - 2.0
+    pos = lo + (hi - lo) * rng.random((n, grid.ndim))
+    vel = rng.standard_normal((n, 3))
+    wts = 1.0 + rng.random(n)
+    return pos, vel, wts
+
+
+@pytest.fixture
+def python_set():
+    """The compiled tier running on the un-jitted scalar twins."""
+    return make_compiled_kernel_set(PythonBackend())
+
+
+# -- python-twin equivalence -------------------------------------------------
+
+@pytest.mark.parametrize("ndim", [1, 2, 3])
+@pytest.mark.parametrize("order", [1, 2, 3])
+def test_python_twin_gather_matches_numpy(python_set, ndim, order):
+    grid = make_grid(ndim)
+    seed_fields(grid)
+    pos, _, _ = particle_cloud(grid, n=40)
+    e_ref, b_ref = gather_fields(grid, pos, order=order)
+    e_twin, b_twin = python_set.gather(grid, pos, order=order)
+    np.testing.assert_allclose(e_twin, e_ref, rtol=0, atol=1e-13)
+    np.testing.assert_allclose(b_twin, b_ref, rtol=0, atol=1e-13)
+    assert e_twin.dtype == np.float64 and b_twin.dtype == np.float64
+
+
+@pytest.mark.parametrize("ndim", [1, 2, 3])
+@pytest.mark.parametrize("order", [1, 2, 3])
+def test_python_twin_deposits_match_numpy(python_set, ndim, order):
+    grid_a = make_grid(ndim)
+    grid_b = make_grid(ndim)
+    pos, vel, wts = particle_cloud(grid_a, n=40)
+    dt = 0.1
+    disp = 0.3 * np.arange(1, grid_a.ndim + 1)
+    pos_new = pos + disp
+
+    deposit_charge(grid_a, pos, wts, charge=-2.0, order=order)
+    python_set.deposit_charge(grid_b, pos, wts, charge=-2.0, order=order)
+    np.testing.assert_allclose(
+        grid_b.fields["rho"], grid_a.fields["rho"], rtol=0, atol=1e-12
+    )
+
+    for g in (grid_a, grid_b):
+        g.zero_sources()
+    deposit_current_esirkepov_tiled(
+        grid_a, pos, pos_new, vel, wts, charge=-2.0, dt=dt, order=order
+    )
+    python_set.deposit_current(
+        grid_b, pos, pos_new, vel, wts, charge=-2.0, dt=dt, order=order
+    )
+    for comp in ("Jx", "Jy", "Jz"):
+        np.testing.assert_allclose(
+            grid_b.fields[comp], grid_a.fields[comp], rtol=0, atol=1e-11,
+            err_msg=comp,
+        )
+
+
+def test_python_twin_direct_current_matches_numpy(python_set):
+    from repro.particles.deposit import deposit_current_direct
+
+    grid_a = make_grid(2)
+    grid_b = make_grid(2)
+    pos, vel, wts = particle_cloud(grid_a, n=40)
+    deposit_current_direct(grid_a, pos, vel, wts, charge=1.5, order=2)
+    python_set.deposit_current_direct(grid_b, pos, vel, wts, charge=1.5,
+                                      order=2)
+    for comp in ("Jx", "Jy", "Jz"):
+        np.testing.assert_allclose(
+            grid_b.fields[comp], grid_a.fields[comp], rtol=0, atol=1e-12,
+            err_msg=comp,
+        )
+
+
+# -- native backend (when available in this environment) ---------------------
+
+def _native_available():
+    return "compiled" in available_kernel_variants()
+
+
+@pytest.mark.skipif(not _native_available(),
+                    reason=kernel_tier_status().get("compiled", ""))
+@pytest.mark.parametrize("ndim", [1, 2, 3])
+def test_native_compiled_tier_machine_precision(ndim):
+    errors = validate_kernel_set("compiled", ndim=ndim, order=3)
+    assert max(errors.values()) < 1e-12, errors
+
+
+@pytest.mark.skipif(not _native_available(),
+                    reason=kernel_tier_status().get("compiled", ""))
+def test_native_tier_reports_backend():
+    ks = get_kernel_set("compiled")
+    assert ks.backend in ("numba", "c")
+    assert kernel_tier_status()["compiled"] == f"available ({ks.backend})"
+
+
+def test_c_source_emits_both_precisions():
+    src = c_source()
+    assert "gather_comp_f64" in src and "gather_comp_f32" in src
+    assert "@REAL@" not in src and "@SUF@" not in src
+
+
+# -- wide windows and guard shortage -----------------------------------------
+
+def test_wide_window_falls_back_to_tiled(python_set):
+    grid_a = make_grid(2, n=24, guards=10)
+    grid_b = make_grid(2, n=24, guards=10)
+    rng = np.random.default_rng(3)
+    pos = 10.0 + 4.0 * rng.random((20, 2))
+    vel = rng.standard_normal((20, 3))
+    wts = np.ones(20)
+    # displacement wide enough that K > KMAX, yet small enough that the
+    # tiled fallback still fits in the guard layer
+    from repro.particles.deposit import esirkepov_window
+
+    disp = 3.2
+    assert esirkepov_window(3, disp, tight=True) > KMAX
+    pos_new = pos + np.array([disp, 0.5])
+    python_set.deposit_current(grid_a, pos, pos_new, vel, wts, charge=1.0,
+                               dt=0.2, order=3)
+    deposit_current_esirkepov_tiled(grid_b, pos, pos_new, vel, wts,
+                                    charge=1.0, dt=0.2, order=3)
+    for comp in ("Jx", "Jy", "Jz"):
+        np.testing.assert_allclose(
+            grid_a.fields[comp], grid_b.fields[comp], rtol=0, atol=1e-12
+        )
+
+
+def test_guard_shortage_raises(python_set):
+    grid = make_grid(2, n=16, guards=2)
+    pos = np.full((4, 2), 8.0)
+    pos_new = pos + 3.5  # window needs more than 2 guard cells
+    vel = np.zeros((4, 3))
+    with pytest.raises(ConfigurationError, match="guard"):
+        python_set.deposit_current(grid, pos, pos_new, vel, np.ones(4),
+                                   charge=1.0, dt=0.1, order=3)
+
+
+# -- backend selection and graceful fallback ---------------------------------
+
+def test_backend_env_rejects_unknown(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "simd")
+    with pytest.raises(ConfigurationError, match=BACKEND_ENV):
+        build_kernel_tier()
+
+
+def test_backend_env_none_disables(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "none")
+    ks, detail = build_kernel_tier()
+    assert ks is None
+    assert "disabled" in detail
+
+
+def test_no_backend_reports_both_reasons(monkeypatch):
+    monkeypatch.setattr(compiled, "_import_numba", lambda: None)
+    monkeypatch.setattr(compiled, "find_c_compiler", lambda: None)
+    ks, detail = build_kernel_tier("auto")
+    assert ks is None
+    assert "numba not importable" in detail
+    assert "no C compiler" in detail
+
+
+def test_numba_only_choice_without_numba(monkeypatch):
+    monkeypatch.setattr(compiled, "_import_numba", lambda: None)
+    ks, detail = build_kernel_tier("numba")
+    assert ks is None
+    assert "numba" in detail
+
+
+def test_c_only_choice_without_compiler(monkeypatch):
+    monkeypatch.setattr(compiled, "find_c_compiler", lambda: None)
+    ks, detail = build_kernel_tier("c")
+    assert ks is None
+    assert "compiler" in detail
+
+
+def test_unavailable_tier_resolves_to_tiled(monkeypatch):
+    monkeypatch.setattr(kernels, "_REGISTRY", {
+        name: ks for name, ks in kernels._REGISTRY.items()
+        if name != "compiled"
+    })
+    monkeypatch.setattr(kernels, "_UNAVAILABLE",
+                        {"compiled": "numba not importable; no C compiler"})
+    ks, reason = resolve_kernel_set("compiled")
+    assert ks.name == FALLBACK_VARIANT
+    assert "no C compiler" in reason
+    assert kernel_tier_status()["compiled"] == (
+        "numba not importable; no C compiler"
+    )
+
+
+def test_unavailable_tier_simulation_falls_back(monkeypatch):
+    monkeypatch.setattr(kernels, "_REGISTRY", {
+        name: ks for name, ks in kernels._REGISTRY.items()
+        if name != "compiled"
+    })
+    monkeypatch.setattr(kernels, "_UNAVAILABLE", {"compiled": "probe failed"})
+    grid = YeeGrid((12, 12), (0.0, 0.0), (12.0e-6, 12.0e-6), guards=4)
+    sim = Simulation(grid, dt=2.0e-15, kernels="compiled")
+    assert sim.kernels == FALLBACK_VARIANT
+    assert sim.kernel_fallback_reason == "probe failed"
+
+
+def test_available_variant_has_no_fallback_reason():
+    ks, reason = resolve_kernel_set("tiled")
+    assert ks.name == "tiled" and reason is None
+
+
+def test_unknown_variant_still_raises_through_resolve():
+    with pytest.raises(ConfigurationError, match="unknown kernel variant"):
+        resolve_kernel_set("simd")
+
+
+def test_install_compiled_tier_idempotent(monkeypatch):
+    # idempotent whether the tier registered or was marked unavailable
+    install_compiled_tier()
+    status_before = kernel_tier_status()
+    install_compiled_tier()
+    assert kernel_tier_status() == status_before
+
+
+def test_install_marks_unavailable_when_probes_fail(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "auto")
+    monkeypatch.setattr(kernels, "_REGISTRY", {
+        name: ks for name, ks in kernels._REGISTRY.items()
+        if name != "compiled"
+    })
+    monkeypatch.setattr(kernels, "_UNAVAILABLE", {})
+    monkeypatch.setattr(compiled, "_import_numba", lambda: None)
+    monkeypatch.setattr(compiled, "find_c_compiler", lambda: None)
+    install_compiled_tier()
+    assert "compiled" not in available_kernel_variants()
+    assert "numba not importable" in kernel_tier_status()["compiled"]
+
+
+def test_probe_builders_agree_with_environment():
+    # whichever probes the import-time environment selection allowed to
+    # succeed, the registry state must match
+    import os
+
+    choice = os.environ.get(BACKEND_ENV, "auto").strip().lower() or "auto"
+    expected = False
+    if choice in ("auto", "numba"):
+        expected = expected or build_numba_backend()[0] is not None
+    if choice in ("auto", "c"):
+        expected = expected or build_c_backend()[0] is not None
+    assert ("compiled" in available_kernel_variants()) == expected
+    assert find_c_compiler() is None or isinstance(find_c_compiler(), str)
+
+
+# -- atomic registration ------------------------------------------------------
+
+def test_failed_batch_registration_installs_nothing(monkeypatch):
+    monkeypatch.setattr(kernels, "_REGISTRY", dict(kernels._REGISTRY))
+    tiled = get_kernel_set("tiled")
+
+    def clone(name):
+        return KernelSet(
+            name=name,
+            gather=tiled.gather,
+            deposit_charge=tiled.deposit_charge,
+            deposit_current=tiled.deposit_current,
+            deposit_current_direct=tiled.deposit_current_direct,
+        )
+
+    before = available_kernel_variants()
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        register_kernel_set(clone("fresh_a"), clone("tiled"))
+    assert available_kernel_variants() == before  # fresh_a NOT installed
+
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        register_kernel_set(clone("fresh_b"), clone("fresh_b"))
+    assert available_kernel_variants() == before
+
+    bad = KernelSet(
+        name="fresh_c",
+        gather="not callable",
+        deposit_charge=tiled.deposit_charge,
+        deposit_current=tiled.deposit_current,
+        deposit_current_direct=tiled.deposit_current_direct,
+    )
+    with pytest.raises(ConfigurationError, match="callable"):
+        register_kernel_set(clone("fresh_d"), bad)
+    assert available_kernel_variants() == before
+
+
+def test_successful_batch_registers_all_and_clears_unavailable(monkeypatch):
+    monkeypatch.setattr(kernels, "_REGISTRY", dict(kernels._REGISTRY))
+    monkeypatch.setattr(kernels, "_UNAVAILABLE", {"fresh_e": "was broken"})
+    tiled = get_kernel_set("tiled")
+    register_kernel_set(KernelSet(
+        name="fresh_e",
+        gather=tiled.gather,
+        deposit_charge=tiled.deposit_charge,
+        deposit_current=tiled.deposit_current,
+        deposit_current_direct=tiled.deposit_current_direct,
+    ))
+    assert "fresh_e" in available_kernel_variants()
+    assert "fresh_e" not in kernels._UNAVAILABLE
+
+
+def test_mark_tier_unavailable_rejects_registered_name():
+    with pytest.raises(ConfigurationError, match="registered"):
+        mark_tier_unavailable("tiled", "nope")
+
+
+# -- dispatch counters --------------------------------------------------------
+
+def test_dispatch_counters_label_actual_variant():
+    from repro.constants import m_e, plasma_wavelength, q_e
+    from repro.grid.maxwell import cfl_dt
+
+    n0 = 1e24
+    length = plasma_wavelength(n0)
+    grid = YeeGrid((16,), (0.0,), (length,), guards=4)
+    sim = Simulation(grid, dt=cfl_dt((length / 16,), 0.9), shape_order=2,
+                     smoothing_passes=0, kernels="tiled")
+    sim.add_species(Species("e", charge=-q_e, mass=m_e, ndim=1),
+                    profile=UniformProfile(n0), ppc=2)
+    _, metrics = attach_observability(sim)
+    sim.step(3)
+    snap = metrics.snapshot()
+    assert snap["kernel.dispatch{phase=deposit,variant=tiled}"] == 3.0
+    assert snap["kernel.dispatch{phase=gather,variant=tiled}"] == 3.0
