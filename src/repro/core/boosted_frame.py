@@ -104,6 +104,20 @@ class BoostedFrame:
             cep_phase=laser.cep_phase,
         )
 
+    # -- solver coupling -----------------------------------------------------
+    def galilean_velocity(self) -> Tuple[float, float, float]:
+        """Galilean velocity for the comoving-current PSATD closure [m/s].
+
+        In the boosted frame the lab-static plasma streams backward at
+        ``-beta c x_hat``; handing this to
+        ``PSATDMaxwellSolver(..., v_galilean=...)`` (or
+        ``Simulation(..., v_galilean=...)``) makes the spectral solver
+        integrate the current as uniformly advected with the plasma,
+        which is the NCI-suppressing Galilean/comoving PSATD scheme
+        (Lehe et al. 2016) the paper's boosted-frame runs rely on.
+        """
+        return (-self.beta * c, 0.0, 0.0)
+
     # -- the point of it all -----------------------------------------------------
     def scale_compression(self) -> float:
         """The Vay (2007) range-of-scales compression ``(1+beta)^2 gamma^2``.

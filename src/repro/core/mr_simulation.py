@@ -70,9 +70,10 @@ class MRSimulation(Simulation):
                 "mesh refinement requires the charge-conserving "
                 "Esirkepov deposition"
             )
-        if self.maxwell_solver != "yee":
+        if getattr(self.solver, "advances_together", False):
             raise ConfigurationError(
-                "mesh refinement requires the Yee solver: the substitution "
+                "mesh refinement requires a split-push (FDTD-family) "
+                "solver, not the spectral PSATD tier: the substitution "
                 "cancels in-patch sources only when the parent and the "
                 "coarse companion apply the identical discrete operator"
             )

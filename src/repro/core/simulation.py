@@ -130,6 +130,11 @@ class Simulation:
     maxwell_solver:
         ``"yee"`` (explicit FDTD, the paper's production solver) or
         ``"psatd"`` (spectral; requires fully periodic boundaries).
+    v_galilean:
+        Galilean velocity [m/s] of the comoving-current PSATD closure
+        (NCI suppression in boosted frames; see
+        :meth:`repro.core.boosted_frame.BoostedFrame.galilean_velocity`).
+        Only valid with ``maxwell_solver="psatd"``.
     """
 
     def __init__(
@@ -149,6 +154,7 @@ class Simulation:
         maxwell_solver: str = "yee",
         tracer=None,
         precision: Optional[str] = None,
+        v_galilean=None,
     ) -> None:
         self.grid = grid
         if precision is not None:
@@ -209,6 +215,11 @@ class Simulation:
         pml_axes = tuple(
             d for d, b in enumerate(self.boundaries) if b == "pml"
         )
+        if maxwell_solver != "psatd" and v_galilean is not None:
+            raise ConfigurationError(
+                "v_galilean is a property of the spectral solver; "
+                "use maxwell_solver='psatd'"
+            )
         if maxwell_solver == "psatd":
             if any(b != "periodic" for b in self.boundaries):
                 raise ConfigurationError(
@@ -216,7 +227,7 @@ class Simulation:
                 )
             from repro.grid.psatd import PSATDMaxwellSolver
 
-            self.solver = PSATDMaxwellSolver(grid, self.dt)
+            self.solver = PSATDMaxwellSolver(grid, self.dt, v_galilean=v_galilean)
         elif pml_axes:
             self.solver = PMLMaxwellSolver(
                 grid, self.dt, n_pml=self.n_absorber, axes=pml_axes
@@ -328,8 +339,11 @@ class Simulation:
         """Hook: combine per-level deposits (used by the MR simulation)."""
 
     def _advance_fields(self) -> None:
-        if self.maxwell_solver == "psatd":
-            self.solver.step()  # PSATD advances E and B together
+        # dispatch on the solver's declared capability, not its config
+        # string: solvers that advance E and B together (PSATD) have no
+        # leapfrog halves to interleave
+        if getattr(self.solver, "advances_together", False):
+            self.solver.step()
             return
         self.solver.push_b(0.5)
         self.solver.push_e(1.0)

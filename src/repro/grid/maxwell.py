@@ -41,6 +41,11 @@ class MaxwellSolver:
         Time step [s]; checked against the Courant limit at construction.
     """
 
+    #: FDTD exposes split push_e/push_b leapfrog halves.
+    advances_together = False
+    #: The second-order curl stencil reaches one cell into the halo.
+    guard_cells = 1
+
     def __init__(self, grid: YeeGrid, dt: float) -> None:
         self.grid = grid
         self.dt = float(dt)

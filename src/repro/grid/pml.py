@@ -93,6 +93,11 @@ class PMLMaxwellSolver:
         Conductivity grading polynomial order and target reflection.
     """
 
+    #: Same split leapfrog interface as the vacuum FDTD solver.
+    advances_together = False
+    #: The second-order curl stencil reaches one cell into the halo.
+    guard_cells = 1
+
     def __init__(
         self,
         grid: YeeGrid,

@@ -20,11 +20,46 @@ are absorbed into per-component phase factors exp(-i k . s dx/2) before
 the update and restored after, so the solver is a drop-in replacement for
 the FDTD solver on periodic domains (the particle kernels see the same
 staggered real-space data).
+
+Galilean (comoving-current) variant
+-----------------------------------
+In a Lorentz-boosted frame the plasma streams almost uniformly at
+``v_gal = (-beta c, 0, 0)``.  The "J constant over the step" closure is
+then poor: the current pattern *advects*.  The Galilean PSATD family
+(Lehe et al. 2016; WarpX's comoving-PSATD option) replaces the closure by
+a uniformly advected current,
+
+    J_hat(t) = J_hat(t_mid) * exp(-i Omega (t - t_mid)),   Omega = k . v_gal,
+
+with ``t_mid`` the step midpoint where the leapfrog deposits J.  The grid
+stays static — only the three J source coefficients change, via the
+Galilean phase ``theta = exp(i Omega dt / 2)``; the homogeneous (vacuum)
+propagator is *exactly* the standard PSATD one, so vacuum dispersion
+stays exact.  Solving ``dE/dt = i c k x (cB)/c - J/eps0`` &c. with the
+advected source (particular solution ``E_p = P J_T e^{-i Omega (t-t_mid)}``,
+``P = i Omega / (eps0 (omega^2 - Omega^2))``, ``omega = c k``) gives the
+transverse-E, longitudinal-E and B source coefficients computed by
+:func:`galilean_coefficients`; all three reduce bitwise to the standard
+coefficients as ``v_gal -> 0``.
+
+Distributed operation (``region="full"``)
+-----------------------------------------
+The analytic propagator kernel in real space is quasi-local: it has
+support ~``c dt`` plus tails decaying with distance.  A box with wide
+guard regions can therefore FFT its *entire* guard-padded array as if it
+were periodic and still produce a correct interior update — errors enter
+only through the fake wrap-around at the box edge and decay with guard
+depth.  ``region="full"`` enables this mode: the FFT covers the padded
+array, the solver skips the periodic wrap, and the caller (the
+distributed driver) refreshes guards from neighbors every step.  This is
+exactly how WarpX runs PSATD under domain decomposition (11-32 guard
+cells in the paper's runs vs. the 1-cell FDTD stencil halo).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import math
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,6 +67,73 @@ from repro.constants import c, eps0
 from repro.exceptions import ConfigurationError
 from repro.grid.boundary import apply_periodic
 from repro.grid.yee import FIELD_COMPONENTS, STAGGER, YeeGrid
+
+
+def galilean_coefficients(
+    k_mag: np.ndarray, omega_gal: np.ndarray, dt: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Source coefficients of the Galilean (comoving-current) PSATD update.
+
+    Parameters
+    ----------
+    k_mag:
+        ``|k|`` table [1/m].
+    omega_gal:
+        ``Omega = k . v_gal`` table [rad/s].
+    dt:
+        Time step [s].
+
+    Returns
+    -------
+    (xe_t, xe_lmt, xb):
+        Complex float64 tables such that the k-space update reads::
+
+            E+  = C E + i S k_hat x cB + xe_t J
+                  + (1-C) k_hat (k_hat.E) + xe_lmt k_hat (k_hat.J)
+            cB+ = C cB - i S k_hat x E + xb k_hat x J
+
+        With ``theta = exp(i Omega dt/2)`` (the Galilean phase),
+        ``P = i Omega / (eps0 (omega^2 - Omega^2))`` and
+        ``Pw = i omega / (eps0 (omega^2 - Omega^2))`` the closed forms are
+
+            xe_t   = P (theta_bar - C theta) + i S theta Pw
+            xe_l   = -2 sin(Omega dt/2) / (eps0 Omega)
+            xe_lmt = xe_l - xe_t
+            xb     = Pw (theta_bar - C theta) + i S theta P
+
+        ``theta_bar - C theta`` is evaluated in the cancellation-free form
+        ``2 sin^2(omega dt/2) cos(Omega dt/2) - i (1+C) sin(Omega dt/2)``.
+        ``omega^2 > Omega^2`` holds for every ``k != 0`` because
+        ``|v_gal| < c``; the ``k = 0`` and ``Omega = 0`` limits are the
+        standard PSATD coefficients ``-S/(eps0 omega)``,
+        ``S/(eps0 omega) - dt/eps0`` and ``i (1-C)/(eps0 omega)`` (with
+        their own ``-dt/eps0`` / ``0`` limits at ``k = 0``), so the whole
+        update reduces exactly to the standard one as ``v_gal -> 0``.
+    """
+    k_mag = np.asarray(k_mag, dtype=np.float64)  # repro: allow(PIC007)
+    om = np.asarray(omega_gal, dtype=np.float64)  # repro: allow(PIC007)
+    dt = float(dt)
+    nz_k = k_mag > 0
+    omega = c * k_mag
+    nz_o = om != 0.0
+    o_safe = np.where(nz_o, om, 1.0)
+    cosw = np.cos(omega * dt)
+    sinw = np.sin(omega * dt)
+    theta = np.exp(0.5j * om * dt)
+    # theta_bar - C theta, stable for small angles (no 1 - cos cancellation)
+    tmb_ct = (
+        2.0 * np.sin(0.5 * omega * dt) ** 2 * np.cos(0.5 * om * dt)
+        - 1j * (1.0 + cosw) * np.sin(0.5 * om * dt)
+    )
+    denom_safe = np.where(nz_k, eps0 * (omega**2 - om**2), 1.0)
+    p_coef = np.where(nz_k, 1j * om / denom_safe, 0.0)
+    pw_coef = np.where(nz_k, 1j * omega / denom_safe, 0.0)
+    xe_t = p_coef * tmb_ct + 1j * sinw * theta * pw_coef
+    xe_t = np.where(nz_k, xe_t, -dt / eps0)
+    xe_l = np.where(nz_o, -2.0 * np.sin(0.5 * om * dt) / (eps0 * o_safe), -dt / eps0)
+    xe_lmt = xe_l - xe_t
+    xb = np.where(nz_k, pw_coef * tmb_ct + 1j * sinw * theta * p_coef, 0.0)
+    return xe_t, xe_lmt, xb
 
 
 class PSATDMaxwellSolver:
@@ -43,13 +145,42 @@ class PSATDMaxwellSolver:
         The grid to advance; all axes are treated as periodic.
     dt:
         Time step [s] — unconstrained by any Courant condition.
+    v_galilean:
+        Galilean velocity [m/s] of the comoving-current closure (scalar =
+        x-velocity, or a per-axis sequence).  ``None``/zero selects the
+        standard J-constant closure.  Must satisfy ``|v| < c``.
+    region:
+        ``"valid"`` (default) FFTs the n unique periodic samples of the
+        valid region and wraps the guards periodically afterwards — the
+        monolithic mode.  ``"full"`` FFTs the entire guard-padded array
+        and leaves guard filling to the caller — the per-box mode of the
+        distributed driver (see module docstring).
     """
 
-    def __init__(self, grid: YeeGrid, dt: float) -> None:
+    #: PSATD advances E and B together; the leapfrog half-pushes collapse.
+    advances_together = True
+    #: Guard depth the local-FFT distributed mode needs (the paper's
+    #: production runs use 11-32 cells; FDTD stencils need 1).
+    guard_cells = 12
+
+    def __init__(
+        self,
+        grid: YeeGrid,
+        dt: float,
+        v_galilean: Optional[Union[float, Sequence[float]]] = None,
+        region: str = "valid",
+    ) -> None:
         if grid.ndim < 1:
             raise ConfigurationError("PSATD needs at least one axis")
+        if region not in ("valid", "full"):
+            raise ConfigurationError(
+                f"region must be 'valid' or 'full', got {region!r}"
+            )
         self.grid = grid
         self.dt = float(dt)
+        self.region = region
+        self.v_galilean = self._normalize_velocity(v_galilean, grid.ndim)
+        self.galilean = any(v != 0.0 for v in self.v_galilean)
         # explicit precision policy: coefficient tables are *built* in
         # double (cos/sin of c k dt must not lose digits at table-build
         # time) and then *stored* in the grid's real dtype, so that on a
@@ -58,10 +189,11 @@ class PSATDMaxwellSolver:
         # promoting every full-grid product to complex128
         self.rdtype = grid.dtype
         self.cdtype = np.result_type(self.rdtype, np.complex64)
-        n = grid.n_cells
-        # angular wavenumbers of the unique (length-n) periodic samples
+        n_fft = grid.shape if region == "full" else grid.n_cells
+        self._n_fft = tuple(n_fft)
+        # angular wavenumbers of the FFT samples
         ks = [
-            2.0 * np.pi * np.fft.fftfreq(n[d], d=grid.dx[d])
+            2.0 * np.pi * np.fft.fftfreq(self._n_fft[d], d=grid.dx[d])
             for d in range(grid.ndim)
         ]
         mesh = np.meshgrid(*ks, indexing="ij")
@@ -85,6 +217,24 @@ class PSATDMaxwellSolver:
             self.sin / (eps0 * c * np.where(self.k_mag > 0, self.k_mag, 1.0)),
             self.dt / eps0,
         )
+        # hot-loop tables, hoisted out of step(): the longitudinal-J
+        # correction (S/(eps0 c k) - dt/eps0, -> 0 as k -> 0) and the
+        # B-push source coefficient (1-C)/(eps0 c k)
+        self.long_corr = self.j_coeff - self.dt / eps0
+        inv_k = np.where(
+            self.k_mag > 0, 1.0 / np.where(self.k_mag > 0, self.k_mag, 1.0), 0.0
+        )
+        self.b_j_coeff = (1.0 - self.cos) * inv_k / (eps0 * c)
+        if self.galilean:
+            omega_gal = sum(
+                self.kvec[d] * self.v_galilean[d] for d in range(3)
+            )
+            xe_t, xe_lmt, xb = galilean_coefficients(
+                self.k_mag, omega_gal, self.dt
+            )
+            self.xe_t = xe_t.astype(self.cdtype)
+            self.xe_lmt = xe_lmt.astype(self.cdtype)
+            self.xb = xb.astype(self.cdtype)
         # per-component staggering phases exp(-i k . s dx / 2)
         self._phase: Dict[str, np.ndarray] = {}
         for comp in FIELD_COMPONENTS + ("Jx", "Jy", "Jz"):
@@ -99,15 +249,50 @@ class PSATDMaxwellSolver:
         self.cos = self.cos.astype(self.rdtype)
         self.sin = self.sin.astype(self.rdtype)
         self.j_coeff = self.j_coeff.astype(self.rdtype)
+        self.long_corr = self.long_corr.astype(self.rdtype)
+        self.b_j_coeff = self.b_j_coeff.astype(self.rdtype)
+
+    @staticmethod
+    def _normalize_velocity(
+        v_galilean: Optional[Union[float, Sequence[float]]], ndim: int
+    ) -> Tuple[float, float, float]:
+        if v_galilean is None:
+            return (0.0, 0.0, 0.0)
+        if np.isscalar(v_galilean):
+            v = [float(v_galilean)]
+        else:
+            v = [float(x) for x in v_galilean]
+        if len(v) > 3:
+            raise ConfigurationError(
+                f"v_galilean takes at most 3 components, got {len(v)}"
+            )
+        v = tuple(v + [0.0] * (3 - len(v)))
+        if math.sqrt(sum(x * x for x in v)) >= c:
+            raise ConfigurationError(
+                f"|v_galilean| must be < c, got {v} m/s"
+            )
+        for d in range(ndim, 3):
+            if v[d] != 0.0:
+                raise ConfigurationError(
+                    f"v_galilean has a component along invariant axis {d} "
+                    f"of a {ndim}D grid; it would be silently ignored"
+                )
+        return v
 
     # -- real <-> spectral ---------------------------------------------------
-    def _unique_slices(self, component: str) -> Tuple[slice, ...]:
-        """The n (not n+1) unique periodic samples of a component."""
+    def _fft_slices(self) -> Tuple[slice, ...]:
+        """The window of the field arrays the FFT covers.
+
+        ``valid`` mode: the n (not n+1) unique periodic samples.
+        ``full`` mode: the whole guard-padded array.
+        """
+        if self.region == "full":
+            return tuple(slice(0, s) for s in self.grid.shape)
         g = self.grid.guards
         return tuple(slice(g, g + n) for n in self.grid.n_cells)
 
     def _to_spectral(self, component: str) -> np.ndarray:
-        arr = self.grid.fields[component][self._unique_slices(component)]
+        arr = self.grid.fields[component][self._fft_slices()]
         # fftn(float32) already yields complex64; the astype is a no-op
         # there and only guards against a caller handing in mixed dtypes
         spec = np.fft.fftn(arr).astype(self.cdtype, copy=False)
@@ -115,7 +300,22 @@ class PSATDMaxwellSolver:
 
     def _from_spectral(self, component: str, spec: np.ndarray) -> None:
         arr = np.fft.ifftn(spec / self._phase[component]).real
-        self.grid.fields[component][self._unique_slices(component)] = arr
+        fields = self.grid.fields[component]
+        fields[self._fft_slices()] = arr
+        if self.region == "valid":
+            # the n-sample window skips the duplicated nodal plane
+            # (arr[g+n] is the same physical point as arr[g] on a
+            # periodic axis) — restore it per the component's staggering
+            g = self.grid.guards
+            stag = STAGGER[component]
+            nd = fields.ndim
+            for d, n in enumerate(self.grid.n_cells):
+                if stag[d] == 0:
+                    dst = [slice(None)] * nd
+                    src = [slice(None)] * nd
+                    dst[d] = slice(g + n, g + n + 1)
+                    src[d] = slice(g, g + 1)
+                    fields[tuple(dst)] = fields[tuple(src)]
 
     # -- the update ------------------------------------------------------------
     @staticmethod
@@ -131,46 +331,59 @@ class PSATDMaxwellSolver:
         return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
 
     def step(self) -> None:
-        """Advance E and B by dt (J assumed constant over the step)."""
+        """Advance E and B by dt (J constant — or advected, if Galilean)."""
         e_hat = [self._to_spectral(comp) for comp in ("Ex", "Ey", "Ez")]
         cb_hat = [c * self._to_spectral(comp) for comp in ("Bx", "By", "Bz")]
         j_hat = [self._to_spectral(comp) for comp in ("Jx", "Jy", "Jz")]
 
         khat = self.k_hat
-        cos, sin, jc = self.cos, self.sin, self.j_coeff
+        cos, sin = self.cos, self.sin
         k_dot_e = self._dot(khat, e_hat)
         k_dot_j = self._dot(khat, j_hat)
         k_x_cb = self._cross(khat, cb_hat)
         k_x_e = self._cross(khat, e_hat)
         k_x_j = self._cross(khat, j_hat)
 
-        # the longitudinal-J correction (S/(eps0 c k) - dt/eps0); -> 0 as k -> 0
-        long_corr = jc - self.dt / eps0
-        inv_k = np.where(self.k_mag > 0, 1.0 / np.where(self.k_mag > 0, self.k_mag, 1.0), 0.0)
-        b_j_coeff = (1.0 - cos) * inv_k / (eps0 * c)
-
         new_e = []
         new_cb = []
-        for i in range(3):
-            new_e.append(
-                cos * e_hat[i]
-                + 1j * sin * k_x_cb[i]
-                - jc * j_hat[i]
-                + (1.0 - cos) * khat[i] * k_dot_e
-                + khat[i] * k_dot_j * long_corr
-            )
-            new_cb.append(
-                cos * cb_hat[i]
-                - 1j * sin * k_x_e[i]
-                + 1j * b_j_coeff * k_x_j[i]
-            )
+        if self.galilean:
+            xe_t, xe_lmt, xb = self.xe_t, self.xe_lmt, self.xb
+            for i in range(3):
+                new_e.append(
+                    cos * e_hat[i]
+                    + 1j * sin * k_x_cb[i]
+                    + xe_t * j_hat[i]
+                    + (1.0 - cos) * khat[i] * k_dot_e
+                    + khat[i] * k_dot_j * xe_lmt
+                )
+                new_cb.append(
+                    cos * cb_hat[i]
+                    - 1j * sin * k_x_e[i]
+                    + xb * k_x_j[i]
+                )
+        else:
+            jc, long_corr, b_j_coeff = self.j_coeff, self.long_corr, self.b_j_coeff
+            for i in range(3):
+                new_e.append(
+                    cos * e_hat[i]
+                    + 1j * sin * k_x_cb[i]
+                    - jc * j_hat[i]
+                    + (1.0 - cos) * khat[i] * k_dot_e
+                    + khat[i] * k_dot_j * long_corr
+                )
+                new_cb.append(
+                    cos * cb_hat[i]
+                    - 1j * sin * k_x_e[i]
+                    + 1j * b_j_coeff * k_x_j[i]
+                )
 
         for i, comp in enumerate(("Ex", "Ey", "Ez")):
             self._from_spectral(comp, new_e[i])
         for i, comp in enumerate(("Bx", "By", "Bz")):
             self._from_spectral(comp, new_cb[i] / c)
-        for axis in range(self.grid.ndim):
-            apply_periodic(self.grid, axis)
+        if self.region == "valid":
+            for axis in range(self.grid.ndim):
+                apply_periodic(self.grid, axis)
 
     # drop-in leapfrog-interface compatibility: PSATD advances E and B
     # together, so the half-B pushes collapse into one full step

@@ -34,7 +34,9 @@ from repro.observability.tracer import NULL_TRACER, phase_span
 from repro.parallel.box import Box, chop_domain
 from repro.parallel.comm import SimComm
 from repro.parallel.distribution import DistributionMapping
+from repro.grid.psatd import PSATDMaxwellSolver
 from repro.parallel.halo import (
+    HALO_TAG_PREFIX,
     assemble_global,
     exchange_halos,
     fold_sources_pairwise,
@@ -113,7 +115,39 @@ class DistributedSimulation:
         checkpoint_dir: Optional[str] = None,
         tracer=None,
         transport=None,
+        maxwell_solver: str = "yee",
+        psatd_guards: Optional[int] = None,
+        v_galilean=None,
     ) -> None:
+        if maxwell_solver not in ("yee", "psatd"):
+            raise ConfigurationError(
+                f"unknown Maxwell solver {maxwell_solver!r}"
+            )
+        self.maxwell_solver = maxwell_solver
+        if maxwell_solver != "psatd":
+            if psatd_guards is not None:
+                raise ConfigurationError(
+                    "psatd_guards only applies to maxwell_solver='psatd'"
+                )
+            if v_galilean is not None:
+                raise ConfigurationError(
+                    "v_galilean is a property of the spectral solver; "
+                    "use maxwell_solver='psatd'"
+                )
+        # guard width is a *solver* property: the spectral local-FFT mode
+        # needs a deep halo (accuracy grows with depth; the paper's runs
+        # use 11-32 cells), FDTD stencils one cell.  Boxes are built with
+        # the larger of the user's particle-shape guards and the solver's
+        # declared requirement.
+        if maxwell_solver == "psatd":
+            solver_guards = (
+                int(psatd_guards)
+                if psatd_guards is not None
+                else PSATDMaxwellSolver.guard_cells
+            )
+            if solver_guards < 1:
+                raise ConfigurationError("psatd_guards must be >= 1")
+            guards = max(int(guards), solver_guards)
         self.domain = YeeGrid(n_cells, lo, hi, guards=guards)
         self.dt = float(dt) if dt is not None else cfl_dt(self.domain.dx, cfl)
         self.shape_order = int(shape_order)
@@ -121,6 +155,17 @@ class DistributedSimulation:
             raise ConfigurationError("not enough guard cells for this shape order")
         self.smoothing_passes = int(smoothing_passes)
         self.boxes = chop_domain(n_cells, max_grid_size)
+        if maxwell_solver == "psatd":
+            for b in self.boxes:
+                for d in range(b.ndim):
+                    if b.shape[d] + 2 * guards > n_cells[d]:
+                        raise ConfigurationError(
+                            f"PSATD box {b.shape} with {guards} guards "
+                            f"spans more than one period of the "
+                            f"{tuple(n_cells)} domain along axis {d}; "
+                            "shrink max_grid_size, lower psatd_guards, "
+                            "or grow the domain"
+                        )
         self.dm = DistributionMapping(self.boxes, n_ranks, strategy)
         self.comm = SimComm(n_ranks, transport=transport)
         #: SPMD rank of this process (None: all ranks live here)
@@ -135,12 +180,24 @@ class DistributedSimulation:
         self._snapshot_interval = 0
         self.box_grids: List[YeeGrid] = []
         self.box_solvers: List[MaxwellSolver] = []
+        #: spectral solvers read guard J and need a source-halo fill
+        self._spectral_solver = maxwell_solver == "psatd"
         for b in self.boxes:
             b_lo = tuple(lo[d] + b.lo[d] * self.domain.dx[d] for d in range(b.ndim))
             b_hi = tuple(lo[d] + b.hi[d] * self.domain.dx[d] for d in range(b.ndim))
             bg = YeeGrid(b.shape, b_lo, b_hi, guards=guards)
             self.box_grids.append(bg)
-            self.box_solvers.append(MaxwellSolver(bg, self.dt))
+            if self._spectral_solver:
+                # region="full": each box FFTs its guard-padded array;
+                # the per-step guard refresh supplies the true neighbor
+                # data the fake wrap-around would otherwise corrupt
+                self.box_solvers.append(
+                    PSATDMaxwellSolver(
+                        bg, self.dt, v_galilean=v_galilean, region="full"
+                    )
+                )
+            else:
+                self.box_solvers.append(MaxwellSolver(bg, self.dt))
         self.box_lookup = build_box_lookup(self.boxes, n_cells)
         periodic_axes = range(self.domain.ndim)
         #: deposit-folding overlaps (valid regions receiving guard deposits)
@@ -246,6 +303,19 @@ class DistributedSimulation:
                 momentum_init(sp)
         self.species[species.name] = dsp
         return dsp
+
+    def init_fields(self, fn: Callable[[YeeGrid], None]) -> None:
+        """Apply an initial-field fill ``fn(grid)`` to every box grid.
+
+        ``fn`` must be a pure, periodic function of physical position
+        writing the *entire* guard-padded arrays (use the grid's
+        ``lo``/``dx``/``guards`` to compute coordinates): every box —
+        and a monolithic grid filled with the same ``fn`` — then starts
+        from identical data, guards included, with no communication.
+        """
+        for i, bg in enumerate(self.box_grids):
+            if self.owns_box(i):
+                fn(bg)
 
     def owns_box(self, i: int) -> bool:
         """Does this endpoint compute box ``i``?  (Always true when every
@@ -396,6 +466,25 @@ class DistributedSimulation:
                 guards=self.domain.guards,
                 local_rank=self.local_rank,
             ))
+
+        if self._spectral_solver:
+            # the local-FFT spectral push reads J in the guards (FDTD
+            # only reads valid J), so after folding the deposits to
+            # their owners, fill every box's guard J from the owners —
+            # a distinct phase tag keeps the schedule verifier's
+            # per-phase accounting exact
+            with self._phase("halo_sources"):
+                self._note_halo(exchange_halos(
+                    self.comm,
+                    self.box_grids,
+                    self.boxes,
+                    self.fill_overlaps,
+                    self.dm.assignment,
+                    guards=self.domain.guards,
+                    components=("Jx", "Jy", "Jz"),
+                    tag=HALO_TAG_PREFIX + ":sources",
+                    local_rank=self.local_rank,
+                ))
 
         with self._phase("maxwell"):
             for i, solver in enumerate(self.box_solvers):

@@ -7,8 +7,8 @@ from repro.constants import c, eps0
 from repro.exceptions import ConfigurationError
 from repro.grid.boundary import apply_periodic
 from repro.grid.maxwell import MaxwellSolver, cfl_dt
-from repro.grid.psatd import PSATDMaxwellSolver
-from repro.grid.yee import YeeGrid
+from repro.grid.psatd import PSATDMaxwellSolver, galilean_coefficients
+from repro.grid.yee import FIELD_COMPONENTS, STAGGER, YeeGrid
 
 
 def plane_wave_grid(n=32, wavelengths=4):
@@ -142,3 +142,249 @@ def test_langmuir_with_psatd():
     freqs = np.fft.rfftfreq(steps, d=sim.dt) * 2 * np.pi
     omega = freqs[np.argmax(spec)]
     assert omega == pytest.approx(plasma_frequency(n0), rel=0.1)
+
+
+# -- hot-loop hoisting (per-step recompute bugfix) ---------------------------
+
+
+def test_hot_loop_tables_hoisted_into_init():
+    """``long_corr`` and ``b_j_coeff`` used to be rebuilt inside step()
+    every step (in float64, whatever the grid precision); they must now be
+    construction-time tables stored at the grid's working precision."""
+    for dtype, expect in ((np.float64, np.float64), (np.float32, np.float32)):
+        g = YeeGrid((16,), (0.0,), (1.0,), guards=2, dtype=dtype)
+        solver = PSATDMaxwellSolver(g, dt=1e-10)
+        assert solver.long_corr.dtype == np.dtype(expect)
+        assert solver.b_j_coeff.dtype == np.dtype(expect)
+        # double-built values, demoted: the k -> 0 element vanishes exactly
+        k0 = tuple(0 for _ in range(g.ndim))
+        assert solver.long_corr[k0] == 0.0
+        assert solver.b_j_coeff[k0] == 0.0
+
+
+def test_float32_pipeline_stays_complex64():
+    """Mixed-precision regression: on a float32 grid every spectral table
+    is float32/complex64 and a step keeps the fields float32 — no silent
+    promotion through per-step float64 rebuilds."""
+    g = YeeGrid((32,), (0.0,), (1.0,), guards=2, dtype=np.float32)
+    g.interior_view("Ey")[...] = 1.0
+    apply_periodic(g, 0)
+    solver = PSATDMaxwellSolver(g, dt=1e-10, v_galilean=0.3 * c)
+    for table in (solver.cos, solver.sin, solver.j_coeff,
+                  solver.long_corr, solver.b_j_coeff, solver.k_mag):
+        assert table.dtype == np.float32
+    for table in (solver.xe_t, solver.xe_lmt, solver.xb):
+        assert table.dtype == np.complex64
+    for phase in solver._phase.values():
+        assert phase.dtype == np.complex64
+    solver.step()
+    for comp in FIELD_COMPONENTS:
+        assert g.fields[comp].dtype == np.float32
+
+
+# -- spectral window staggering (nodal-plane bugfix) -------------------------
+
+
+def test_spectral_round_trip_restores_nodal_plane():
+    """``_from_spectral`` writes the n unique periodic samples; the
+    duplicated nodal plane ``arr[g+n]`` (same physical point as
+    ``arr[g]``) must be restored per the component's staggering — it used
+    to be left stale."""
+    rng = np.random.default_rng(7)
+    g = YeeGrid((12, 8), (0.0, 0.0), (1.0, 1.0), guards=3)
+    solver = PSATDMaxwellSolver(g, dt=1e-10)
+    gd = g.guards
+    for comp in FIELD_COMPONENTS:
+        arr = g.fields[comp]
+        arr[...] = 0.0
+        g.interior_view(comp)[...] = rng.standard_normal(
+            g.interior_view(comp).shape
+        )
+        for axis in range(g.ndim):
+            apply_periodic(g, axis, components=[comp])
+        before = g.interior_view(comp).copy()
+        # corrupt every duplicated nodal plane, then round-trip
+        for d, n in enumerate(g.n_cells):
+            if STAGGER[comp][d] == 0:
+                sl = [slice(None)] * g.ndim
+                sl[d] = slice(gd + n, gd + n + 1)
+                arr[tuple(sl)] = 1e6
+        solver._from_spectral(comp, solver._to_spectral(comp))
+        np.testing.assert_allclose(
+            g.interior_view(comp), before, atol=1e-12
+        )
+        for d, n in enumerate(g.n_cells):
+            if STAGGER[comp][d] == 0:
+                lo = [slice(None)] * g.ndim
+                hi = [slice(None)] * g.ndim
+                lo[d] = slice(gd, gd + 1)
+                hi[d] = slice(gd + n, gd + n + 1)
+                np.testing.assert_array_equal(
+                    arr[tuple(hi)], arr[tuple(lo)]
+                )
+
+
+# -- capability-flag dispatch (string special-case bugfix) -------------------
+
+
+def test_solver_capability_flags():
+    from repro.grid.pml import PMLMaxwellSolver
+
+    assert PSATDMaxwellSolver.advances_together is True
+    assert MaxwellSolver.advances_together is False
+    assert PMLMaxwellSolver.advances_together is False
+    assert PSATDMaxwellSolver.guard_cells > MaxwellSolver.guard_cells == 1
+    assert PMLMaxwellSolver.guard_cells == 1
+
+
+def test_advance_fields_dispatches_on_solver_capability():
+    """The step driver must dispatch on ``solver.advances_together``, not
+    on the ``maxwell_solver`` config string: with the string check, any
+    consumer holding a PSATD solver under a different label fell into the
+    split push_b path, which raises mid-step."""
+    from repro.core.simulation import Simulation
+
+    g = YeeGrid((16,), (0.0,), (1.0,), guards=4)
+    sim = Simulation(g, smoothing_passes=0, maxwell_solver="psatd")
+    sim.maxwell_solver = "not-the-dispatch-key"
+    sim._advance_fields()  # used to raise ConfigurationError via push_b
+
+
+def test_mr_rejects_psatd_with_clear_error():
+    from repro.core.mr_simulation import MRSimulation
+
+    g = YeeGrid((16,), (0.0,), (1.0,), guards=4)
+    sim = MRSimulation(g, smoothing_passes=0, maxwell_solver="psatd")
+    with pytest.raises(ConfigurationError, match="spectral"):
+        sim.add_patch((4,), (12,))
+
+
+def test_v_galilean_requires_psatd():
+    from repro.core.simulation import Simulation
+
+    g = YeeGrid((16,), (0.0,), (1.0,), guards=4)
+    with pytest.raises(ConfigurationError, match="psatd"):
+        Simulation(g, maxwell_solver="yee", v_galilean=(0.1 * c, 0.0, 0.0))
+
+
+# -- Galilean (comoving-current) variant -------------------------------------
+
+
+def test_galilean_config_validation():
+    g = YeeGrid((16,), (0.0,), (1.0,), guards=2)
+    with pytest.raises(ConfigurationError, match="< c"):
+        PSATDMaxwellSolver(g, dt=1e-10, v_galilean=c)
+    with pytest.raises(ConfigurationError, match="invariant axis"):
+        PSATDMaxwellSolver(g, dt=1e-10, v_galilean=(0.0, 0.1 * c, 0.0))
+    with pytest.raises(ConfigurationError, match="region"):
+        PSATDMaxwellSolver(g, dt=1e-10, region="interior")
+
+
+def test_galilean_tables_reduce_to_standard():
+    """As v_gal -> 0 every Galilean coefficient reduces to its standard
+    PSATD counterpart (same k=0 limits included)."""
+    g = YeeGrid((32,), (0.0,), (3.2e-5,), guards=2)
+    dt = 2.0 * cfl_dt(g.dx)
+    std = PSATDMaxwellSolver(g, dt)
+    xe_t, xe_lmt, xb = galilean_coefficients(
+        std.k_mag.astype(np.float64), np.zeros(std.k_mag.shape), dt
+    )
+    np.testing.assert_allclose(xe_t, -std.j_coeff, rtol=1e-12, atol=1e-30)
+    np.testing.assert_allclose(xe_lmt, std.long_corr, rtol=1e-10, atol=1e-25)
+    np.testing.assert_allclose(xb, 1j * std.b_j_coeff, rtol=1e-10, atol=1e-25)
+
+
+def test_galilean_vacuum_dispersion_unchanged():
+    """The Galilean scheme only modifies the *source* coefficients: with
+    J = 0 the propagator is the standard PSATD one, so a vacuum plane
+    wave still advects at exactly c (the analytic vacuum relation
+    omega = c k) even with a large v_gal.  This is the guard against the
+    classic mistake of multiplying the old fields by the Galilean phase,
+    which would shift the vacuum dispersion."""
+    g, k = plane_wave_grid(n=32, wavelengths=4)
+    dt = 3.0 * cfl_dt(g.dx)
+    solver = PSATDMaxwellSolver(g, dt, v_galilean=-0.6 * c)
+    steps = 40
+    for _ in range(steps):
+        solver.step()
+    shift = c * steps * dt
+    x_e = g.axis_coords(0, "Ey")
+    expected = np.sin(k * (x_e - shift))
+    np.testing.assert_allclose(g.interior_view("Ey"), expected, atol=1e-10)
+
+
+def test_galilean_advected_current_exact():
+    """The defining property of the comoving-current closure: a current
+    that really is uniformly advected at v_gal is integrated *exactly*,
+    at any dt.  Longitudinal 1D case with the analytic oracle
+
+        Ex(x, t) = -J0/(eps0 k v) [sin(k x) - sin(k (x - v t))],
+
+    with J re-imposed analytically at each step midpoint."""
+    n = 48
+    length = 4.8e-5
+    g = YeeGrid((n,), (0.0,), (length,), guards=2)
+    v = -0.6 * c
+    k = 2 * np.pi * 3 / length
+    j0 = 1.0e7
+    dt = 2.7 * cfl_dt(g.dx)  # far beyond the FDTD limit
+    solver = PSATDMaxwellSolver(g, dt, v_galilean=v)
+    x_j = g.axis_coords(0, "Jx")
+    steps = 25
+    for m in range(steps):
+        t_mid = (m + 0.5) * dt
+        g.interior_view("Jx")[...] = j0 * np.cos(k * (x_j - v * t_mid))
+        solver.step()
+    t_end = steps * dt
+    x_e = g.axis_coords(0, "Ex")
+    expected = -j0 / (eps0 * k * v) * (
+        np.sin(k * x_e) - np.sin(k * (x_e - v * t_end))
+    )
+    scale = np.max(np.abs(expected))
+    np.testing.assert_allclose(
+        g.interior_view("Ex"), expected, atol=1e-9 * scale
+    )
+    # nothing leaks into the transverse fields
+    assert np.max(np.abs(g.interior_view("Ey"))) == 0.0
+    assert np.max(np.abs(g.interior_view("Bz"))) == 0.0
+
+
+def test_standard_closure_is_not_exact_for_advected_current():
+    """Contrast for the test above: the J-constant closure accumulates an
+    O((Omega dt)^2) error per step on the same advected current — the
+    error the Galilean scheme exists to remove."""
+    n = 48
+    length = 4.8e-5
+    g = YeeGrid((n,), (0.0,), (length,), guards=2)
+    v = -0.6 * c
+    k = 2 * np.pi * 3 / length
+    j0 = 1.0e7
+    dt = 2.7 * cfl_dt(g.dx)
+    solver = PSATDMaxwellSolver(g, dt)  # standard closure
+    x_j = g.axis_coords(0, "Jx")
+    steps = 25
+    for m in range(steps):
+        t_mid = (m + 0.5) * dt
+        g.interior_view("Jx")[...] = j0 * np.cos(k * (x_j - v * t_mid))
+        solver.step()
+    t_end = steps * dt
+    x_e = g.axis_coords(0, "Ex")
+    expected = -j0 / (eps0 * k * v) * (
+        np.sin(k * x_e) - np.sin(k * (x_e - v * t_end))
+    )
+    scale = np.max(np.abs(expected))
+    err = np.max(np.abs(g.interior_view("Ex") - expected))
+    assert err > 1e-4 * scale
+
+
+def test_boosted_frame_galilean_velocity():
+    from repro.core.boosted_frame import BoostedFrame
+
+    f = BoostedFrame(gamma=2.0)
+    v = f.galilean_velocity()
+    assert v[1] == v[2] == 0.0
+    assert v[0] == pytest.approx(-f.beta * c)
+    # usable as a solver argument
+    g = YeeGrid((16,), (0.0,), (1.0,), guards=2)
+    solver = PSATDMaxwellSolver(g, dt=1e-10, v_galilean=v)
+    assert solver.galilean
